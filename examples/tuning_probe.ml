@@ -1,0 +1,19 @@
+(* probe clique Tdown behavior *)
+module Runner = Bgp_netsim.Runner
+module Network = Bgp_netsim.Network
+module Config = Bgp_proto.Config
+module Graph = Bgp_topology.Graph
+module Topology = Bgp_topology.Topology
+let clique n =
+  let g = Graph.create n in
+  for u = 0 to n-1 do for v = u+1 to n-1 do Graph.add_edge g u v done done;
+  Topology.of_graph (Bgp_engine.Rng.create 9) g
+let () =
+  List.iter (fun n ->
+    let cfg = { Config.(with_mrai (Static 2.0) default) with Config.mrai_jitter = false } in
+    let scenario = Runner.scenario ~net:(Network.config_default cfg)
+      ~failure:(Runner.Routers [ n-1 ]) ~seed:1 (Runner.Fixed (clique n)) in
+    let r = Runner.run scenario in
+    Printf.printf "clique n=%2d: Tdown conv=%6.2f s msgs=%5d (MRAI=2, (n-3)*MRAI=%g)\n%!"
+      n r.Bgp_netsim.Runner.convergence_delay r.Bgp_netsim.Runner.messages (float (n-3) *. 2.))
+    [5;6;8;10;12]
