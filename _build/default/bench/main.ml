@@ -1,0 +1,301 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Figure regeneration — re-simulates every figure of the paper's
+      evaluation (Figs 1-13) and prints the series plus PASS/FAIL shape
+      verdicts against the paper's qualitative claims.  This is the
+      "regenerate every table and figure" harness.
+
+   2. Bechamel micro-benchmarks of the core data structures and of small
+      end-to-end simulations (one Test.make per figure workload class).
+
+   Usage:
+     dune exec bench/main.exe                    # quick grids, all figures + micro
+     dune exec bench/main.exe -- --full          # paper-scale grids
+     dune exec bench/main.exe -- fig3 fig7       # a subset of figures
+     dune exec bench/main.exe -- --trials 5      # override trials
+     dune exec bench/main.exe -- --micro-only
+     dune exec bench/main.exe -- --figures-only
+     dune exec bench/main.exe -- --csv-dir DIR   # also dump CSVs *)
+
+module Figure = Bgp_experiments.Figure
+module Figures = Bgp_experiments.Figures
+module Scenarios = Bgp_experiments.Scenarios
+module Verdicts = Bgp_experiments.Verdicts
+
+module Ablations = Bgp_experiments.Ablations
+
+type mode = {
+  opts : Scenarios.opts;
+  figures : string list;
+  micro : bool;
+  figs : bool;
+  ablations : bool;
+  csv_dir : string option;
+}
+
+let parse_args () =
+  let opts = ref Scenarios.quick in
+  let trials = ref None in
+  let figures = ref [] in
+  let micro = ref true in
+  let figs = ref true in
+  let ablations = ref true in
+  let csv_dir = ref None in
+  let rec loop = function
+    | [] -> ()
+    | "--full" :: rest ->
+      opts := Scenarios.default;
+      loop rest
+    | "--quick" :: rest ->
+      opts := Scenarios.quick;
+      loop rest
+    | "--trials" :: n :: rest ->
+      trials := Some (int_of_string n);
+      loop rest
+    | "--micro-only" :: rest ->
+      figs := false;
+      ablations := false;
+      loop rest
+    | "--figures-only" :: rest ->
+      micro := false;
+      ablations := false;
+      loop rest
+    | "--ablations-only" :: rest ->
+      micro := false;
+      figs := false;
+      loop rest
+    | "--no-ablations" :: rest ->
+      ablations := false;
+      loop rest
+    | "--csv-dir" :: dir :: rest ->
+      csv_dir := Some dir;
+      loop rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+      figures := arg :: !figures;
+      loop rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  loop (List.tl (Array.to_list Sys.argv));
+  let opts =
+    match !trials with None -> !opts | Some t -> { !opts with Scenarios.trials = t }
+  in
+  (* Selecting specific figures implies skipping the ablations. *)
+  let ablations = !ablations && !figures = [] in
+  {
+    opts;
+    figures = List.rev !figures;
+    micro = !micro;
+    figs = !figs;
+    ablations;
+    csv_dir = !csv_dir;
+  }
+
+(* --- Figure regeneration ------------------------------------------------ *)
+
+let normalize_figure_id id =
+  let digits =
+    String.to_seq id
+    |> Seq.filter (fun c -> c >= '0' && c <= '9')
+    |> String.of_seq
+  in
+  if digits = "" then String.lowercase_ascii id else "fig" ^ string_of_int (int_of_string digits)
+
+let select_figures ids =
+  match ids with
+  | [] -> Figures.all
+  | ids ->
+    let wanted = List.map normalize_figure_id ids in
+    List.filter (fun (name, _) -> List.mem name wanted) Figures.all
+
+let run_figures mode =
+  let selected = select_figures mode.figures in
+  (match mode.figures with
+  | [] -> ()
+  | ids ->
+    List.iter
+      (fun id -> if Figures.by_id id = None then Fmt.epr "unknown figure id %S@." id)
+      ids);
+  let total_pass = ref 0 and total = ref 0 in
+  List.iter
+    (fun (id, make) ->
+      let t0 = Unix.gettimeofday () in
+      let fig = make mode.opts in
+      Fmt.pr "@.%a" Figure.pp fig;
+      Fmt.pr "%a" Figure.pp_chart fig;
+      let verdicts = Verdicts.check fig in
+      List.iter
+        (fun v ->
+          incr total;
+          if v.Verdicts.holds then incr total_pass;
+          Fmt.pr "  %a@." Verdicts.pp_verdict v)
+        verdicts;
+      Fmt.pr "  (%.1f s wall)@." (Unix.gettimeofday () -. t0);
+      match mode.csv_dir with
+      | None -> ()
+      | Some dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path = Filename.concat dir (id ^ ".csv") in
+        let oc = open_out path in
+        output_string oc (Figure.to_csv fig);
+        close_out oc;
+        Fmt.pr "  wrote %s@." path)
+    selected;
+  Fmt.pr "@.shape verdicts: %d/%d hold@." !total_pass !total
+
+let run_ablations mode =
+  Fmt.pr "@.=== ablations (design-choice studies beyond the paper's figures) ===@.";
+  List.iter
+    (fun (name, make) ->
+      let t0 = Unix.gettimeofday () in
+      let fig = make mode.opts in
+      Fmt.pr "@.%a" Figure.pp fig;
+      Fmt.pr "%a" Figure.pp_chart fig;
+      Fmt.pr "  (%s, %.1f s wall)@." name (Unix.gettimeofday () -. t0))
+    Ablations.all
+
+(* --- Micro-benchmarks ---------------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let bench_heap =
+  Test.make ~name:"engine/heap push+pop 1k"
+    (Staged.stage (fun () ->
+         let h = Bgp_engine.Heap.create ~cmp:Int.compare in
+         for i = 0 to 999 do
+           Bgp_engine.Heap.push h (i * 7919 mod 1000)
+         done;
+         while not (Bgp_engine.Heap.is_empty h) do
+           ignore (Bgp_engine.Heap.pop_exn h)
+         done))
+
+let bench_scheduler =
+  Test.make ~name:"engine/scheduler 1k events"
+    (Staged.stage (fun () ->
+         let s = Bgp_engine.Scheduler.create () in
+         for i = 0 to 999 do
+           ignore
+             (Bgp_engine.Scheduler.schedule s
+                ~delay:(float_of_int (i * 37 mod 100))
+                (fun () -> ()))
+         done;
+         Bgp_engine.Scheduler.run s))
+
+let bench_rng =
+  Test.make ~name:"engine/rng 1k floats"
+    (Staged.stage
+       (let rng = Bgp_engine.Rng.create 7 in
+        fun () ->
+          for _ = 1 to 1000 do
+            ignore (Bgp_engine.Rng.float rng)
+          done))
+
+let bench_rib =
+  Test.make ~name:"bgp/rib 100 updates + decide"
+    (Staged.stage (fun () ->
+         let rib = Bgp_proto.Rib.create ~asn:0 in
+         for peer = 1 to 10 do
+           for dest = 1 to 10 do
+             Bgp_proto.Rib.set_in rib dest ~peer ~kind:Bgp_proto.Types.Ebgp [ peer; dest ];
+             ignore (Bgp_proto.Rib.decide rib dest)
+           done
+         done))
+
+let bench_queue discipline name =
+  Test.make
+    ~name:(Printf.sprintf "core/input_queue %s 1k" name)
+    (Staged.stage (fun () ->
+         let q = Bgp_core.Input_queue.create discipline in
+         for i = 0 to 999 do
+           Bgp_core.Input_queue.push q
+             { Bgp_core.Input_queue.src = i mod 8; dest = i mod 50; payload = i }
+         done;
+         while not (Bgp_core.Input_queue.is_empty q) do
+           ignore (Bgp_core.Input_queue.pop q)
+         done))
+
+let bench_topology =
+  Test.make ~name:"topology/70-30 n=120"
+    (Staged.stage
+       (let counter = ref 0 in
+        fun () ->
+          incr counter;
+          let rng = Bgp_engine.Rng.create !counter in
+          ignore
+            (Bgp_topology.Degree_dist.generate Bgp_topology.Degree_dist.skewed_70_30 rng
+               ~n:120)))
+
+(* One Test.make per figure workload class: a small end-to-end simulation
+   representative of the figure's dominant cost. *)
+let bench_run ~name ~scheme ~discipline ~frac =
+  Test.make ~name
+    (Staged.stage
+       (let counter = ref 0 in
+        fun () ->
+          incr counter;
+          let cfg =
+            Bgp_proto.Config.(default |> with_mrai scheme |> with_discipline discipline)
+          in
+          let scenario =
+            Bgp_netsim.Runner.scenario
+              ~net:(Bgp_netsim.Network.config_default cfg)
+              ~failure:(Bgp_netsim.Runner.Fraction frac) ~seed:!counter
+              (Bgp_netsim.Runner.Flat
+                 { spec = Bgp_topology.Degree_dist.skewed_70_30; n = 40 })
+          in
+          ignore (Bgp_netsim.Runner.run scenario)))
+
+let micro_tests =
+  Test.make_grouped ~name:"bgp-convergence"
+    [
+      bench_heap;
+      bench_scheduler;
+      bench_rng;
+      bench_rib;
+      bench_queue Bgp_core.Input_queue.Fifo "fifo";
+      bench_queue Bgp_core.Input_queue.Batched "batched";
+      bench_topology;
+      bench_run ~name:"run/static-mrai (figs 1-5)" ~scheme:(Static 1.25)
+        ~discipline:Bgp_core.Input_queue.Fifo ~frac:0.05;
+      bench_run ~name:"run/degree-dependent (fig 6)"
+        ~scheme:(Degree_dependent { threshold = 3; low = 0.5; high = 2.25 })
+        ~discipline:Bgp_core.Input_queue.Fifo ~frac:0.05;
+      bench_run ~name:"run/dynamic-mrai (figs 7-9)"
+        ~scheme:(Bgp_core.Mrai_controller.paper_dynamic ())
+        ~discipline:Bgp_core.Input_queue.Fifo ~frac:0.05;
+      bench_run ~name:"run/batching (figs 10-12)" ~scheme:(Static 0.5)
+        ~discipline:Bgp_core.Input_queue.Batched ~frac:0.05;
+      bench_run ~name:"run/batching+dynamic (figs 10,13)"
+        ~scheme:(Bgp_core.Mrai_controller.paper_dynamic ())
+        ~discipline:Bgp_core.Input_queue.Batched ~frac:0.05;
+    ]
+
+let run_micro () =
+  Fmt.pr "@.=== micro-benchmarks (bechamel) ===@.";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] micro_tests in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] ->
+        if est > 1e6 then Fmt.pr "%-55s %10.3f ms/run@." name (est /. 1e6)
+        else Fmt.pr "%-55s %10.1f ns/run@." name est
+      | _ -> Fmt.pr "%-55s (no estimate)@." name)
+    rows
+
+let () =
+  let mode = parse_args () in
+  Fmt.pr "BGP convergence benchmark harness (%d trials/point, %d-node flat topologies)@."
+    mode.opts.Scenarios.trials mode.opts.Scenarios.n;
+  if mode.figs then run_figures mode;
+  if mode.ablations then run_ablations mode;
+  if mode.micro then run_micro ()

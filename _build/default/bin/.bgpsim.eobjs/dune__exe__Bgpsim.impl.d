@@ -1,0 +1,1 @@
+bin/bgpsim.ml: Arg Bgp_core Bgp_engine Bgp_netsim Bgp_proto Bgp_topology Cmd Cmdliner Fmt List Printf Term

@@ -1,0 +1,1 @@
+bin/figures.ml: Arg Bgp_experiments Cmd Cmdliner Filename Fmt List Term Unix

@@ -1,0 +1,1 @@
+bin/topogen.ml: Arg Array Bgp_engine Bgp_topology Cmd Cmdliner Fmt Hashtbl Int List Option Printf Term

@@ -1,0 +1,216 @@
+(* bgpsim: run one BGP failure scenario and print the metrics.
+
+   Examples:
+     bgpsim --nodes 120 --failure 0.05 --mrai 1.25
+     bgpsim --scheme dynamic --failure 0.10 --trials 5
+     bgpsim --scheme degree --batching --failure 0.20 --validate *)
+
+open Cmdliner
+
+module Runner = Bgp_netsim.Runner
+module Network = Bgp_netsim.Network
+module Config = Bgp_proto.Config
+module Mrai = Bgp_core.Mrai_controller
+module Iq = Bgp_core.Input_queue
+module Degree_dist = Bgp_topology.Degree_dist
+
+let spec_of_string = function
+  | "70-30" -> Ok Degree_dist.skewed_70_30
+  | "50-50" -> Ok Degree_dist.skewed_50_50
+  | "85-15" -> Ok Degree_dist.skewed_85_15
+  | "50-50-dense" -> Ok Degree_dist.skewed_50_50_dense
+  | "internet" -> Ok Degree_dist.internet_like
+  | s -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+
+let scheme_of ~name ~mrai ~low ~high ~up_th ~down_th =
+  match name with
+  | "static" -> Ok (Mrai.Static mrai)
+  | "degree" -> Ok (Mrai.Degree_dependent { threshold = 3; low; high })
+  | "dynamic" ->
+    Ok (Mrai.Dynamic
+          {
+            levels = [| 0.5; 1.25; 2.25 |];
+            up_threshold = up_th;
+            down_threshold = down_th;
+            detector = Mrai.Queue_work;
+          })
+  | s -> Error (Printf.sprintf "unknown scheme %S (static|degree|dynamic)" s)
+
+let run nodes realistic spec_name failure seed trials scheme_name mrai low high up_th
+    down_th batching tcp_batch per_dest bypass_name damping policies analytic hold_time
+    trace_n validate quiet =
+  match spec_of_string spec_name with
+  | Error (`Msg m) ->
+    Fmt.epr "error: %s@." m;
+    1
+  | Ok spec -> (
+    match scheme_of ~name:scheme_name ~mrai ~low ~high ~up_th ~down_th with
+    | Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+    | Ok scheme ->
+      let queue_discipline =
+        if batching then Iq.Batched
+        else
+          match tcp_batch with
+          | Some batch_size -> Iq.Tcp_batch { batch_size }
+          | None -> Iq.Fifo
+      in
+      let mrai_bypass =
+        match bypass_name with
+        | "none" -> Config.No_bypass
+        | "improvement" -> Config.Cancel_on_improvement
+        | "flap2" -> Config.Flap_threshold 2
+        | s -> failwith (Printf.sprintf "unknown bypass %S (none|improvement|flap2)" s)
+      in
+      let config =
+        {
+          Config.default with
+          Config.mrai_scheme = scheme;
+          queue_discipline;
+          mrai_mode = (if per_dest then Config.Per_dest else Config.Per_peer);
+          mrai_bypass;
+          damping = (if damping then Some Bgp_core.Damping.sim_config else None);
+        }
+      in
+      let topo =
+        if realistic then
+          Runner.Realistic (Bgp_topology.As_topology.default ~n_ases:nodes)
+        else Runner.Flat { spec; n = nodes }
+      in
+      let trace =
+        match trace_n with None -> None | Some _ -> Some (Bgp_netsim.Trace.create ())
+      in
+      let net_config =
+        let base = { (Network.config_default config) with Network.trace } in
+        match hold_time with
+        | None -> base
+        | Some hold_time ->
+          {
+            base with
+            Network.detection =
+              Network.Hold_timer
+                { Bgp_proto.Session.default_config with Bgp_proto.Session.hold_time };
+          }
+      in
+      let scenario =
+        Runner.scenario ~net:net_config ~failure:(Runner.Fraction failure) ~seed ~validate
+          ~warmup:(if analytic then Runner.Analytic else Runner.Simulated)
+          ~policies topo
+      in
+      let delays = Bgp_engine.Stats.create () in
+      let msgs = Bgp_engine.Stats.create () in
+      let ok = ref true in
+      for i = 0 to trials - 1 do
+        let r = Runner.run { scenario with Runner.seed = seed + i } in
+        Bgp_engine.Stats.add delays r.Runner.convergence_delay;
+        Bgp_engine.Stats.add msgs (float_of_int r.Runner.messages);
+        if not r.Runner.converged then ok := false;
+        if r.Runner.issues <> [] then begin
+          ok := false;
+          List.iter
+            (fun i -> Fmt.epr "invariant: %a@." Bgp_netsim.Validate.pp_issue i)
+            r.Runner.issues
+        end;
+        if not quiet then
+          Fmt.pr
+            "seed %3d: delay %8.2f s, %7d msgs (%d adverts, %d withdrawals), peak \
+             queue %d, eliminated %d@."
+            (seed + i) r.Runner.convergence_delay r.Runner.messages r.Runner.adverts
+            r.Runner.withdrawals r.Runner.max_queue r.Runner.eliminated
+      done;
+      Fmt.pr "convergence delay: %a@." Bgp_engine.Stats.pp_summary
+        (Bgp_engine.Stats.summarize delays);
+      Fmt.pr "update messages  : %a@." Bgp_engine.Stats.pp_summary
+        (Bgp_engine.Stats.summarize msgs);
+      (match (trace, trace_n) with
+      | Some trace, Some limit ->
+        Fmt.pr "@.last %d trace events (of %d recorded, %d dropped):@." limit
+          (Bgp_netsim.Trace.length trace)
+          (Bgp_netsim.Trace.dropped trace);
+        Bgp_netsim.Trace.dump ~limit Fmt.stdout trace;
+        Fmt.pr "@.busiest senders:@.";
+        List.iteri
+          (fun i (router, count) ->
+            if i < 10 then Fmt.pr "  router %3d: %d updates@." router count)
+          (Bgp_netsim.Trace.sends_by_router trace)
+      | _ -> ());
+      if !ok then 0 else 1)
+
+let nodes =
+  Arg.(value & opt int 120 & info [ "n"; "nodes" ] ~doc:"Routers (flat) or ASes (realistic).")
+
+let realistic =
+  Arg.(value & flag & info [ "realistic" ] ~doc:"Multi-router-per-AS topology (Fig 13).")
+
+let spec_name =
+  Arg.(value & opt string "70-30"
+       & info [ "t"; "topology" ]
+           ~doc:"Degree distribution: 70-30, 50-50, 85-15, 50-50-dense, internet.")
+
+let failure =
+  Arg.(value & opt float 0.05 & info [ "f"; "failure" ] ~doc:"Failure fraction, 0..1.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base RNG seed.")
+let trials = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Seeds to run and average.")
+
+let scheme_name =
+  Arg.(value & opt string "static"
+       & info [ "scheme" ] ~doc:"MRAI scheme: static, degree, dynamic.")
+
+let mrai = Arg.(value & opt float 30.0 & info [ "mrai" ] ~doc:"Static MRAI in seconds.")
+let low = Arg.(value & opt float 0.5 & info [ "low" ] ~doc:"Degree scheme: low-degree MRAI.")
+let high =
+  Arg.(value & opt float 2.25 & info [ "high" ] ~doc:"Degree scheme: high-degree MRAI.")
+let up_th = Arg.(value & opt float 0.65 & info [ "up-th" ] ~doc:"Dynamic scheme upTh (s).")
+let down_th =
+  Arg.(value & opt float 0.05 & info [ "down-th" ] ~doc:"Dynamic scheme downTh (s).")
+
+let batching =
+  Arg.(value & flag & info [ "batching" ] ~doc:"Batched per-destination input queue.")
+
+let tcp_batch =
+  Arg.(value & opt (some int) None
+       & info [ "tcp-batch" ] ~docv:"N" ~doc:"Per-TCP-read batching with N updates/read.")
+
+let bypass_name =
+  Arg.(value & opt string "none"
+       & info [ "bypass" ] ~doc:"MRAI bypass: none, improvement, flap2 (Deshpande-Sikdar).")
+
+let damping =
+  Arg.(value & flag & info [ "damping" ] ~doc:"RFC 2439 route flap damping (sim-scaled).")
+
+let policies =
+  Arg.(value & flag & info [ "policies" ] ~doc:"Gao-Rexford valley-free policies.")
+
+let analytic =
+  Arg.(value & flag & info [ "analytic-warmup" ] ~doc:"Install the steady state directly.")
+
+let hold_time =
+  Arg.(value & opt (some float) None
+       & info [ "hold-time" ] ~docv:"SECONDS"
+           ~doc:"Detect failures via BGP hold-timer expiry instead of a link signal.")
+
+let per_dest =
+  Arg.(value & flag & info [ "per-dest-mrai" ] ~doc:"Per-destination MRAI timers.")
+
+let trace_n =
+  Arg.(value & opt (some int) None
+       & info [ "trace" ] ~docv:"N" ~doc:"Record an event trace and print the last N events.")
+
+let validate =
+  Arg.(value & flag & info [ "validate" ] ~doc:"Check routing invariants after each phase.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary.")
+
+let cmd =
+  let doc = "simulate BGP re-convergence after a large-scale failure" in
+  Cmd.v
+    (Cmd.info "bgpsim" ~doc)
+    Term.(
+      const run $ nodes $ realistic $ spec_name $ failure $ seed $ trials $ scheme_name
+      $ mrai $ low $ high $ up_th $ down_th $ batching $ tcp_batch $ per_dest
+      $ bypass_name $ damping $ policies $ analytic $ hold_time $ trace_n $ validate
+      $ quiet)
+
+let () = exit (Cmd.eval' cmd)

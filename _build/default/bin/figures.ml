@@ -1,0 +1,58 @@
+(* figures: regenerate one or more of the paper's figures.
+
+   Examples:
+     figures fig7
+     figures fig3 fig10 --trials 5 --full
+     figures all --csv out/ *)
+
+open Cmdliner
+
+module Figure = Bgp_experiments.Figure
+module Figures = Bgp_experiments.Figures
+module Scenarios = Bgp_experiments.Scenarios
+module Verdicts = Bgp_experiments.Verdicts
+
+let run ids full trials csv_dir =
+  let opts = if full then Scenarios.default else Scenarios.quick in
+  let opts = match trials with None -> opts | Some t -> { opts with Scenarios.trials = t } in
+  let selected =
+    match ids with
+    | [] | [ "all" ] -> List.map fst Figures.all
+    | ids -> ids
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun id ->
+      match Figures.by_id id with
+      | None ->
+        Fmt.epr "unknown figure %S (fig1..fig13 or all)@." id;
+        incr failures
+      | Some make ->
+        let fig = make opts in
+        Fmt.pr "@.%a" Figure.pp fig;
+        List.iter
+          (fun v -> Fmt.pr "  %a@." Verdicts.pp_verdict v)
+          (Verdicts.check fig);
+        (match csv_dir with
+        | None -> ()
+        | Some dir ->
+          (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let path = Filename.concat dir (fig.Figure.id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Figure.to_csv fig);
+          close_out oc;
+          Fmt.pr "  wrote %s@." path))
+    selected;
+  if !failures = 0 then 0 else 1
+
+let ids = Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc:"fig1..fig13 or all.")
+let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale grids (slower).")
+let trials = Arg.(value & opt (some int) None & info [ "trials" ] ~doc:"Seeds per point.")
+let csv_dir =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSVs.")
+
+let cmd =
+  let doc = "regenerate the paper's evaluation figures" in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ ids $ full $ trials $ csv_dir)
+
+let () = exit (Cmd.eval' cmd)

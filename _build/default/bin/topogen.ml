@@ -1,0 +1,94 @@
+(* topogen: generate a topology and dump it (edge list or summary).
+
+   Examples:
+     topogen --nodes 120 --topology 70-30
+     topogen --realistic --nodes 60 --format summary
+     topogen --model waxman --nodes 100 *)
+
+open Cmdliner
+
+module Rng = Bgp_engine.Rng
+module Graph = Bgp_topology.Graph
+module Geometry = Bgp_topology.Geometry
+module Topology = Bgp_topology.Topology
+module Degree_dist = Bgp_topology.Degree_dist
+module Models = Bgp_topology.Models
+module As_topology = Bgp_topology.As_topology
+
+let generate ~nodes ~seed ~realistic ~spec_name ~model =
+  let rng = Rng.create seed in
+  match model with
+  | Some "waxman" ->
+    let positions = Array.init nodes (fun _ -> Geometry.random_point rng) in
+    Ok (Topology.of_graph rng (Models.waxman rng ~positions ~alpha:0.15 ~beta:0.2))
+  | Some "ba" -> Ok (Topology.of_graph rng (Models.barabasi_albert rng ~n:nodes ~m:2))
+  | Some "glp" ->
+    Ok (Topology.of_graph rng (Models.glp rng ~n:nodes ~m:1 ~p:0.4 ~beta:0.6))
+  | Some m -> Error (Printf.sprintf "unknown model %S (waxman|ba|glp)" m)
+  | None ->
+    if realistic then Ok (As_topology.generate rng (As_topology.default ~n_ases:nodes))
+    else begin
+      match spec_name with
+      | "70-30" -> Ok (Topology.flat rng ~spec:Degree_dist.skewed_70_30 ~n:nodes)
+      | "50-50" -> Ok (Topology.flat rng ~spec:Degree_dist.skewed_50_50 ~n:nodes)
+      | "85-15" -> Ok (Topology.flat rng ~spec:Degree_dist.skewed_85_15 ~n:nodes)
+      | "50-50-dense" ->
+        Ok (Topology.flat rng ~spec:Degree_dist.skewed_50_50_dense ~n:nodes)
+      | "internet" -> Ok (Topology.flat rng ~spec:Degree_dist.internet_like ~n:nodes)
+      | s -> Error (Printf.sprintf "unknown topology %S" s)
+    end
+
+let summarize topo =
+  let g = topo.Topology.graph in
+  Fmt.pr "%a@." Topology.pp topo;
+  Fmt.pr "max degree: %d@." (Graph.max_degree g);
+  let hist = Hashtbl.create 16 in
+  for v = 0 to Graph.num_nodes g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace hist d (1 + Option.value ~default:0 (Hashtbl.find_opt hist d))
+  done;
+  let degrees = List.sort Int.compare (Hashtbl.fold (fun d _ acc -> d :: acc) hist []) in
+  List.iter (fun d -> Fmt.pr "  degree %2d: %d routers@." d (Hashtbl.find hist d)) degrees
+
+let dump_edges topo =
+  Fmt.pr "# router-level edge list: u v kind@.";
+  Graph.fold_edges
+    (fun u v () ->
+      Fmt.pr "%d %d %s@." u v (if Topology.is_ebgp topo u v then "ebgp-link" else "intra-as"))
+    topo.Topology.graph ()
+
+let run nodes seed realistic spec_name model format =
+  match generate ~nodes ~seed ~realistic ~spec_name ~model with
+  | Error m ->
+    Fmt.epr "error: %s@." m;
+    1
+  | Ok topo -> (
+    (match Topology.validate topo with
+    | Ok () -> ()
+    | Error e -> Fmt.epr "warning: %s@." e);
+    match format with
+    | "summary" ->
+      summarize topo;
+      0
+    | "edges" ->
+      dump_edges topo;
+      0
+    | f ->
+      Fmt.epr "unknown format %S (summary|edges)@." f;
+      1)
+
+let nodes = Arg.(value & opt int 120 & info [ "n"; "nodes" ] ~doc:"Routers or ASes.")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+let realistic = Arg.(value & flag & info [ "realistic" ] ~doc:"Multi-router ASes.")
+let spec_name = Arg.(value & opt string "70-30" & info [ "t"; "topology" ] ~doc:"Spec.")
+let model =
+  Arg.(value & opt (some string) None & info [ "model" ] ~doc:"waxman, ba or glp.")
+let format = Arg.(value & opt string "summary" & info [ "format" ] ~doc:"summary or edges.")
+
+let cmd =
+  let doc = "generate BRITE-style topologies" in
+  Cmd.v
+    (Cmd.info "topogen" ~doc)
+    Term.(const run $ nodes $ seed $ realistic $ spec_name $ model $ format)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/batching_demo.ml: Bgp_core Bgp_engine Bgp_proto Fmt List

@@ -1,0 +1,1 @@
+examples/batching_demo.mli:

@@ -1,0 +1,1 @@
+examples/convergence_anatomy.ml: Bgp_engine Bgp_netsim Bgp_proto Bgp_topology Float Fmt List Stdlib String

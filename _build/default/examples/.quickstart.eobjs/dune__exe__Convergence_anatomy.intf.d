@@ -1,0 +1,1 @@
+examples/convergence_anatomy.mli:

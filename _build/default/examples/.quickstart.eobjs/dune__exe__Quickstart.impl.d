@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgp_netsim Bgp_proto Bgp_topology Fmt

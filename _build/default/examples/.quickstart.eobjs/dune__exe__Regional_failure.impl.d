@@ -1,0 +1,1 @@
+examples/regional_failure.ml: Bgp_core Bgp_engine Bgp_netsim Bgp_proto Bgp_topology Fmt

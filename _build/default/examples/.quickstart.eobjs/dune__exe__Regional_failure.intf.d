@@ -1,0 +1,1 @@
+examples/regional_failure.mli:

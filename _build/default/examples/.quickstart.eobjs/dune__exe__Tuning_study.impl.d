@@ -1,0 +1,1 @@
+examples/tuning_study.ml: Bgp_core Bgp_experiments Bgp_netsim Bgp_proto Bgp_topology Fmt List

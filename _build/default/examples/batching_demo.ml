@@ -1,0 +1,70 @@
+(* Batching demo: watch the paper's Section 4.4 mechanism at message level.
+
+   A router under overload receives interleaved update bursts for many
+   destinations.  With the default FIFO queue it exports stale routes when
+   its MRAI timers fire mid-queue; with the batched per-destination queue
+   the stale messages are eliminated and same-destination updates complete
+   together.
+
+   Run with:  dune exec examples/batching_demo.exe *)
+
+module Sched = Bgp_engine.Scheduler
+module Rng = Bgp_engine.Rng
+module Types = Bgp_proto.Types
+module Config = Bgp_proto.Config
+module Router = Bgp_proto.Router
+module Iq = Bgp_core.Input_queue
+
+let burst router ~from_peer ~dests ~rounds =
+  (* Each round re-advertises every destination with a different path, so
+     every earlier round's message is stale by the time the next lands. *)
+  for round = 1 to rounds do
+    List.iter
+      (fun dest ->
+        let path =
+          if round mod 2 = 0 then [ from_peer; dest ] else [ from_peer; 77; dest ]
+        in
+        Router.receive router ~src:from_peer (Types.Advertise { dest; path }))
+      dests
+  done
+
+let run_once discipline =
+  let sched = Sched.create () in
+  let sent = ref 0 in
+  let cb =
+    { Router.send = (fun ~src:_ ~dst:_ _ -> incr sent); activity = (fun ~time:_ -> ()) }
+  in
+  let config =
+    {
+      Config.default with
+      Config.mrai_scheme = Static 0.5;
+      queue_discipline = discipline;
+      mrai_jitter = false;
+    }
+  in
+  let router =
+    Router.create ~sched ~rng:(Rng.create 7) ~config ~id:0 ~asn:0 ~degree:2 cb
+  in
+  Router.add_peer router ~peer:1 ~peer_as:1 ~kind:Types.Ebgp ();
+  Router.add_peer router ~peer:2 ~peer_as:2 ~kind:Types.Ebgp ();
+  Router.start router;
+  Sched.run sched;
+  sent := 0;
+  let dests = List.init 30 (fun i -> 100 + i) in
+  burst router ~from_peer:1 ~dests ~rounds:6;
+  Sched.run sched;
+  let m = Router.metrics router in
+  (!sent, m.Router.msgs_processed, m.Router.eliminated)
+
+let () =
+  Fmt.pr "one overloaded router, 6 stale-making update rounds over 30 destinations@.@.";
+  List.iter
+    (fun (name, discipline) ->
+      let sent, processed, eliminated = run_once discipline in
+      Fmt.pr "%-12s sent %4d updates, processed %4d, eliminated %4d stale@." name sent
+        processed eliminated)
+    [ ("fifo", Iq.Fifo); ("fifo-dedup", Iq.Fifo_dedup); ("batched", Iq.Batched) ];
+  Fmt.pr
+    "@.Batching processes each destination's queue back-to-back and deletes@.\
+     superseded updates from the same neighbour, so fewer invalid routes are@.\
+     exported and less CPU is burned (paper Figs 10-12).@."

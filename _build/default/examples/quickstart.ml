@@ -1,0 +1,30 @@
+(* Quickstart: build a small network, converge it, fail one router, and
+   watch BGP heal.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Runner = Bgp_netsim.Runner
+module Network = Bgp_netsim.Network
+module Config = Bgp_proto.Config
+module Degree_dist = Bgp_topology.Degree_dist
+
+let () =
+  (* A 30-node network with the paper's "70-30" skewed degree
+     distribution and the Internet-default 30 s MRAI. *)
+  let scenario =
+    Runner.scenario
+      ~net:(Network.config_default Config.default)
+      ~failure:(Runner.Fraction 0.05) ~seed:42 ~validate:true
+      (Runner.Flat { spec = Degree_dist.skewed_70_30; n = 30 })
+  in
+  let result = Runner.run scenario in
+  Fmt.pr "warm-up: converged in %.1f s using %d update messages@."
+    result.Runner.warmup_delay result.Runner.warmup_messages;
+  Fmt.pr "failure of 5%% of the routers:@.";
+  Fmt.pr "  re-convergence delay : %.1f s@." result.Runner.convergence_delay;
+  Fmt.pr "  update messages      : %d (%d advertisements, %d withdrawals)@."
+    result.Runner.messages result.Runner.adverts result.Runner.withdrawals;
+  Fmt.pr "  survivors connected  : %b@." result.Runner.survivors_connected;
+  Fmt.pr "  invariants           : %s@."
+    (if result.Runner.issues = [] then "all hold" else "VIOLATED");
+  if not result.Runner.converged then Fmt.pr "  WARNING: hit the simulation cap@."

@@ -1,0 +1,50 @@
+(* Regional failure study: a geographically concentrated outage takes out
+   10% of a 120-node network (the paper's motivating scenario) and we
+   compare how the Internet-default MRAI, the paper's tuned static MRAI,
+   and the two proposed schemes recover.
+
+   Run with:  dune exec examples/regional_failure.exe *)
+
+module Runner = Bgp_netsim.Runner
+module Network = Bgp_netsim.Network
+module Config = Bgp_proto.Config
+module Mrai = Bgp_core.Mrai_controller
+module Iq = Bgp_core.Input_queue
+module Degree_dist = Bgp_topology.Degree_dist
+module Stats = Bgp_engine.Stats
+
+let trials = 3
+
+let measure label config =
+  let delays = Stats.create () and msgs = Stats.create () in
+  for seed = 1 to trials do
+    let scenario =
+      Runner.scenario
+        ~net:(Network.config_default config)
+        ~failure:(Runner.Fraction 0.10) ~seed ~validate:true
+        (Runner.Flat { spec = Degree_dist.skewed_70_30; n = 120 })
+    in
+    let r = Runner.run scenario in
+    assert (r.Runner.converged && r.Runner.issues = []);
+    Stats.add delays r.Runner.convergence_delay;
+    Stats.add msgs (float_of_int r.Runner.messages)
+  done;
+  Fmt.pr "%-28s delay %7.1f s (+/- %5.1f)   %8.0f messages@." label (Stats.mean delays)
+    (Stats.stddev delays) (Stats.mean msgs)
+
+let () =
+  Fmt.pr "10%% regional failure, 120-node 70-30 topology, %d seeds each@.@." trials;
+  measure "MRAI=30 (Internet default)" Config.default;
+  measure "MRAI=0.5 (small-failure opt)" Config.(with_mrai (Static 0.5) default);
+  measure "MRAI=2.25 (large-failure opt)" Config.(with_mrai (Static 2.25) default);
+  measure "degree-dependent MRAI"
+    Config.(
+      with_mrai (Degree_dependent { threshold = 3; low = 0.5; high = 2.25 }) default);
+  measure "dynamic MRAI" Config.(with_mrai (Mrai.paper_dynamic ()) default);
+  measure "batching (MRAI=0.5)"
+    Config.(default |> with_mrai (Static 0.5) |> with_discipline Iq.Batched);
+  measure "batching + dynamic"
+    Config.(default |> with_mrai (Mrai.paper_dynamic ()) |> with_discipline Iq.Batched);
+  Fmt.pr
+    "@.The proposed schemes keep the recovery near the best static tuning without@.\
+     knowing the failure size in advance (paper Sections 4.3-4.4).@."

@@ -1,0 +1,1 @@
+lib/bgp/config.ml: Bgp_core Bgp_engine List

@@ -1,0 +1,1 @@
+lib/bgp/config.mli: Bgp_core Bgp_engine

@@ -1,0 +1,1 @@
+lib/bgp/export.ml: Config Rib Types

@@ -1,0 +1,1 @@
+lib/bgp/export.mli: Config Rib Types

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Hashtbl Int List Types

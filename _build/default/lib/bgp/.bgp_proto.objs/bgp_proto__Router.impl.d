@@ -1,0 +1,1 @@
+lib/bgp/router.ml: Bgp_core Bgp_engine Config Export Float Hashtbl Int List Option Rib Types

@@ -1,0 +1,1 @@
+lib/bgp/router.mli: Bgp_engine Config Rib Types

@@ -1,0 +1,1 @@
+lib/bgp/session.ml: Bgp_engine Float Fmt Types

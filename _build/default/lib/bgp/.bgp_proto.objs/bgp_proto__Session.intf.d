@@ -1,0 +1,1 @@
+lib/bgp/session.mli: Bgp_engine Format Types

@@ -1,0 +1,1 @@
+lib/bgp/types.ml: Fmt List

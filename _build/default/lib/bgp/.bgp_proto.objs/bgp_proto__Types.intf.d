@@ -1,0 +1,1 @@
+lib/bgp/types.mli: Format

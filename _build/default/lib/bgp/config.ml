@@ -1,0 +1,45 @@
+type mrai_mode = Per_peer | Per_dest
+type mrai_bypass = No_bypass | Cancel_on_improvement | Flap_threshold of int
+
+type t = {
+  mrai_scheme : Bgp_core.Mrai_controller.scheme;
+  mrai_mode : mrai_mode;
+  ibgp_mrai : float;
+  queue_discipline : Bgp_core.Input_queue.discipline;
+  processing_delay : Bgp_engine.Dist.t;
+  mrai_jitter : bool;
+  mrai_on_withdrawals : bool;
+  sender_side_loop_check : bool;
+  load_window : float;
+  mrai_bypass : mrai_bypass;
+  dynamic_restart_timers : bool;
+  damping : Bgp_core.Damping.config option;
+  prefixes_per_as : int;
+}
+
+let paper_processing_delay = Bgp_engine.Dist.Uniform { lo = 0.001; hi = 0.030 }
+
+let default =
+  {
+    mrai_scheme = Static 30.0;
+    mrai_mode = Per_peer;
+    ibgp_mrai = 0.0;
+    queue_discipline = Fifo;
+    processing_delay = paper_processing_delay;
+    mrai_jitter = true;
+    mrai_on_withdrawals = false;
+    sender_side_loop_check = true;
+    load_window = 0.5;
+    mrai_bypass = No_bypass;
+    dynamic_restart_timers = false;
+    damping = None;
+    prefixes_per_as = 1;
+  }
+
+let origin_as t ~dest = dest / t.prefixes_per_as
+
+let dests_of_as t ~asn =
+  List.init t.prefixes_per_as (fun k -> (asn * t.prefixes_per_as) + k)
+
+let with_mrai scheme t = { t with mrai_scheme = scheme }
+let with_discipline discipline t = { t with queue_discipline = discipline }

@@ -1,0 +1,72 @@
+(** Protocol configuration knobs for a simulation run. *)
+
+type mrai_mode =
+  | Per_peer  (** one MRAI timer per neighbour (Internet practice, used in
+                  all paper experiments, Section 3.2) *)
+  | Per_dest  (** one timer per (neighbour, destination); the textbook
+                  variant discussed in Section 2, kept for ablation *)
+
+(** The Deshpande-Sikdar [12] comparison schemes the paper discusses in
+    Section 2: both bypass the MRAI gate in specific situations.  The paper
+    reports they reduce delay at the price of "considerably" more update
+    messages — reproduced in the ablation benches. *)
+type mrai_bypass =
+  | No_bypass
+  | Cancel_on_improvement
+      (** method 1: a strictly better route (shorter path, or a route where
+          none was advertised) cancels the running timer and goes out
+          immediately; the timer then restarts *)
+  | Flap_threshold of int
+      (** method 2: the MRAI is applied to a destination only once its
+          route has changed at least this many times since the last paced
+          flush; earlier changes go out immediately *)
+
+type t = {
+  mrai_scheme : Bgp_core.Mrai_controller.scheme;  (** eBGP sessions *)
+  mrai_mode : mrai_mode;
+  ibgp_mrai : float;  (** fixed MRAI for iBGP sessions; 0 = no pacing *)
+  queue_discipline : Bgp_core.Input_queue.discipline;
+  processing_delay : Bgp_engine.Dist.t;
+      (** per received update message; paper: uniform 1-30 ms *)
+  mrai_jitter : bool;
+      (** RFC 1771 jitter: interval x U(0.75, 1.0) ("reduction of up to
+          25%", Section 3.2) *)
+  mrai_on_withdrawals : bool;
+      (** false = RFC behaviour (withdrawals sent immediately); true is the
+          WRATE-style ablation *)
+  sender_side_loop_check : bool;
+      (** don't advertise a path to a peer whose AS already appears in it *)
+  load_window : float;
+      (** seconds; window for the utilization / message-count detectors *)
+  mrai_bypass : mrai_bypass;
+  dynamic_restart_timers : bool;
+      (** paper Section 5 future work: when the dynamic controller changes
+          level, re-arm running timers with the new interval immediately
+          instead of waiting for their natural restart *)
+  damping : Bgp_core.Damping.config option;
+      (** RFC 2439 route flap damping on received routes; [None] (default)
+          matches the paper's setup *)
+  prefixes_per_as : int;
+      (** destinations originated by each AS (default 1, as in the paper's
+          simulations).  The paper's Section 5 argues that the real
+          Internet's ~200k destinations multiply the update load; raising
+          this reproduces that scaling.  Destination id [d] belongs to AS
+          [d / prefixes_per_as]. *)
+}
+
+val default : t
+(** Paper defaults: static MRAI 30 s (the Internet default), per-peer,
+    FIFO queue, processing delay U(1 ms, 30 ms), jitter on, withdrawals
+    unpaced, sender-side loop check on, 0.5 s load window. *)
+
+val with_mrai : Bgp_core.Mrai_controller.scheme -> t -> t
+val with_discipline : Bgp_core.Input_queue.discipline -> t -> t
+
+val paper_processing_delay : Bgp_engine.Dist.t
+(** U(0.001, 0.030) seconds. *)
+
+val origin_as : t -> dest:int -> int
+(** The AS that originates destination [dest]. *)
+
+val dests_of_as : t -> asn:int -> int list
+(** The destinations AS [asn] originates. *)

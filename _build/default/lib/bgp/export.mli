@@ -1,0 +1,23 @@
+(** The export half of the decision process as a pure function: what does
+    a router whose Loc-RIB selection is [best] tell a given peer?
+
+    Shared by {!Router} (live operation) and by the analytic steady-state
+    construction in the network layer, so the two can never disagree. *)
+
+open Types
+
+val target :
+  config:Config.t ->
+  own_as:as_id ->
+  peer_kind:session_kind ->
+  peer_as:as_id ->
+  ?peer_rel:relationship ->
+  best:Rib.best option ->
+  unit ->
+  path option
+(** [None] means "advertise nothing" (i.e. withdraw if something was
+    advertised before): no selection, an iBGP-learned selection facing an
+    iBGP peer, a sender-side loop-check hit, or — when relationships are
+    configured — a valley-free (Gao-Rexford) export restriction: routes
+    learned from peers or providers are only exported to customers.
+    [peer_rel] is our relationship to the peer being exported to. *)

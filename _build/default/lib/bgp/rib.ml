@@ -1,0 +1,116 @@
+open Types
+
+type entry = {
+  peer : router_id;
+  kind : session_kind;
+  path : path;
+  rel : relationship option;
+}
+type best = Local | Learned of entry
+
+type t = {
+  asn : as_id;
+  rib_in : (dest, (router_id, entry) Hashtbl.t) Hashtbl.t;
+  loc_rib : (dest, best) Hashtbl.t;
+  local : (dest, unit) Hashtbl.t;
+}
+
+let create ~asn =
+  {
+    asn;
+    rib_in = Hashtbl.create 256;
+    loc_rib = Hashtbl.create 256;
+    local = Hashtbl.create 4;
+  }
+
+let asn t = t.asn
+
+let rank = function
+  | Local -> (0, 0, 0, -1)
+  | Learned { peer; kind; path; rel } ->
+    ( preference_of_relationship rel,
+      path_length path,
+      (match kind with Ebgp -> 0 | Ibgp -> 1),
+      peer )
+
+let compare_best a b = compare (rank a) (rank b)
+
+let in_table t dest =
+  match Hashtbl.find_opt t.rib_in dest with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 8 in
+    Hashtbl.replace t.rib_in dest table;
+    table
+
+let originate t dest = Hashtbl.replace t.local dest ()
+
+let set_in t dest ~peer ~kind ?rel path =
+  if path_contains path t.asn then
+    invalid_arg "Rib.set_in: path contains our own AS (loop check is the caller's job)";
+  Hashtbl.replace (in_table t dest) peer { peer; kind; path; rel }
+
+let withdraw_in t dest ~peer =
+  match Hashtbl.find_opt t.rib_in dest with
+  | None -> ()
+  | Some table -> Hashtbl.remove table peer
+
+let drop_peer t ~peer =
+  Hashtbl.fold
+    (fun dest table acc ->
+      if Hashtbl.mem table peer then begin
+        Hashtbl.remove table peer;
+        dest :: acc
+      end
+      else acc)
+    t.rib_in []
+
+let entries_in t dest =
+  match Hashtbl.find_opt t.rib_in dest with
+  | None -> []
+  | Some table ->
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) table [] in
+    List.sort (fun a b -> compare_best (Learned a) (Learned b)) entries
+
+let select t dest =
+  let candidates =
+    (if Hashtbl.mem t.local dest then [ Local ] else [])
+    @ List.map (fun e -> Learned e) (entries_in t dest)
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun acc c -> if compare_best c acc < 0 then c else acc) first rest)
+
+let ibgp_exportable = function
+  | Local -> true
+  | Learned { kind = Ebgp; _ } -> true
+  | Learned { kind = Ibgp; _ } -> false
+
+let export_identity = function
+  | None -> None
+  | Some Local -> Some ([], true)
+  | Some (Learned e) -> Some (e.path, ibgp_exportable (Learned e))
+
+let decide t dest =
+  let before = Hashtbl.find_opt t.loc_rib dest in
+  let after = select t dest in
+  (match after with
+  | None -> Hashtbl.remove t.loc_rib dest
+  | Some b -> Hashtbl.replace t.loc_rib dest b);
+  export_identity before <> export_identity after
+
+let best t dest = Hashtbl.find_opt t.loc_rib dest
+
+let best_path t dest =
+  match best t dest with
+  | None -> None
+  | Some Local -> Some []
+  | Some (Learned e) -> Some e.path
+
+let dests t =
+  let seen = Hashtbl.create 256 in
+  Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.rib_in;
+  Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.loc_rib;
+  Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.local;
+  List.sort Int.compare (Hashtbl.fold (fun dest () acc -> dest :: acc) seen [])

@@ -1,0 +1,70 @@
+(** Routing information bases and the decision process for one router.
+
+    The decision criterion is the paper's: shortest AS-path length only
+    (Section 3.2), with deterministic tie-breaks — locally-originated
+    beats learned, eBGP beats iBGP, then lowest peer id.  When Gao-Rexford
+    relationships are supplied, a local-preference class (customer over
+    peer over provider) ranks above path length, as in real BGP. *)
+
+open Types
+
+type entry = {
+  peer : router_id;
+  kind : session_kind;
+  path : path;
+  rel : relationship option;  (** our relationship to the advertising peer *)
+}
+
+type best =
+  | Local  (** locally originated, path [] *)
+  | Learned of entry
+
+type t
+
+val create : asn:as_id -> t
+val asn : t -> as_id
+
+val originate : t -> dest -> unit
+(** Install a locally-originated route (used for the router's own AS
+    prefix). *)
+
+val set_in :
+  t -> dest -> peer:router_id -> kind:session_kind -> ?rel:relationship -> path -> unit
+(** Replace the Adj-RIB-In entry from [peer] for [dest].  [rel] is the
+    Gao-Rexford relationship used for local-preference ranking (omit for
+    the paper's policy-free operation).
+    @raise Invalid_argument if the path contains our own AS (the caller
+    must apply receiver-side loop detection first). *)
+
+val withdraw_in : t -> dest -> peer:router_id -> unit
+(** Remove the entry from [peer]; no-op if absent. *)
+
+val drop_peer : t -> peer:router_id -> dest list
+(** Remove all entries learned from [peer] (session down); returns the
+    destinations that lost an entry. *)
+
+val entries_in : t -> dest -> entry list
+(** Current Adj-RIB-In contents for a destination (sorted by rank). *)
+
+val decide : t -> dest -> bool
+(** Re-run the decision process for [dest] and update the Loc-RIB.
+    Returns [true] iff the result changed in an export-relevant way (the
+    best path, its existence, or its iBGP re-exportability). *)
+
+val best : t -> dest -> best option
+(** Current Loc-RIB selection, if any. *)
+
+val best_path : t -> dest -> path option
+(** Path of the current selection; [Some \[\]] for a local route. *)
+
+val ibgp_exportable : best -> bool
+(** Standard full-mesh iBGP rule: only local and eBGP-learned routes are
+    re-advertised to iBGP peers. *)
+
+val dests : t -> dest list
+(** All destinations with any Adj-RIB-In or Loc-RIB state. *)
+
+val rank : best -> int * int * int * int
+(** Ranking key (preference class, path length, eBGP-over-iBGP, peer id;
+    lower is better); exposed for property tests and the analytic
+    warm-up. *)

@@ -1,0 +1,577 @@
+open Types
+module Sched = Bgp_engine.Scheduler
+module Rng = Bgp_engine.Rng
+module Dist = Bgp_engine.Dist
+module Mrai = Bgp_core.Mrai_controller
+module Iq = Bgp_core.Input_queue
+module Damping = Bgp_core.Damping
+
+type work = Update_msg of update | Peer_down_msg
+
+type peer_state = {
+  peer_id : router_id;
+  peer_as : as_id;
+  kind : session_kind;
+  peer_rel : relationship option;
+  controller : Mrai.t;
+  mutable up : bool;
+  (* Per-peer MRAI mode. *)
+  mutable timer_running : bool;
+  mutable timer_event : Sched.event_id option;
+  (* Per-dest MRAI mode: destinations with a running timer. *)
+  dest_timers : (dest, Sched.event_id) Hashtbl.t;
+  pending : (dest, unit) Hashtbl.t;
+  advertised : (dest, path) Hashtbl.t;  (* Adj-RIB-Out *)
+  flaps : (dest, int) Hashtbl.t;
+      (* route changes since the last paced flush (Flap_threshold bypass) *)
+}
+
+type callbacks = {
+  send : src:router_id -> dst:router_id -> update -> unit;
+  activity : time:float -> unit;
+}
+
+type t = {
+  id : router_id;
+  asn : as_id;
+  config : Config.t;
+  sched : Sched.t;
+  rng : Rng.t;
+  rib : Rib.t;
+  input : work Iq.t;
+  peers : (router_id, peer_state) Hashtbl.t;
+  mutable peer_list : router_id list;  (* ascending, for deterministic iteration *)
+  ebgp_controller : Mrai.t;
+  ibgp_controller : Mrai.t;
+  mean_proc : float;
+  cb : callbacks;
+  mutable busy : bool;
+  mutable failed : bool;
+  mutable last_level : int;  (* for dynamic_restart_timers *)
+  damping : Damping.t option;
+  (* Routes received while suppressed, reinstalled at their reuse time. *)
+  parked : (router_id * dest, session_kind * path) Hashtbl.t;
+  (* Load window for the utilization / message-count detectors. *)
+  mutable window_start : float;
+  mutable busy_in_window : float;
+  mutable msgs_in_window : int;
+  mutable last_utilization : float;
+  mutable last_msgs_in_window : int;
+  (* Counters. *)
+  mutable adverts_sent : int;
+  mutable withdrawals_sent : int;
+  mutable msgs_processed : int;
+  mutable max_unfinished_work : float;
+}
+
+let create ~sched ~rng ~config ~id ~asn ~degree cb =
+  {
+    id;
+    asn;
+    config;
+    sched;
+    rng;
+    rib = Rib.create ~asn;
+    input = Iq.create config.Config.queue_discipline;
+    peers = Hashtbl.create 16;
+    peer_list = [];
+    ebgp_controller = Mrai.make config.Config.mrai_scheme ~degree;
+    ibgp_controller = Mrai.make (Static config.Config.ibgp_mrai) ~degree;
+    mean_proc = Dist.mean config.Config.processing_delay;
+    cb;
+    busy = false;
+    failed = false;
+    last_level = 0;
+    damping = Option.map Damping.create config.Config.damping;
+    parked = Hashtbl.create 16;
+    window_start = 0.0;
+    busy_in_window = 0.0;
+    msgs_in_window = 0;
+    last_utilization = 0.0;
+    last_msgs_in_window = 0;
+    adverts_sent = 0;
+    withdrawals_sent = 0;
+    msgs_processed = 0;
+    max_unfinished_work = 0.0;
+  }
+
+let id t = t.id
+let asn t = t.asn
+let rib t = t.rib
+let is_failed t = t.failed
+let peer_ids t = t.peer_list
+let queue_length t = Iq.length t.input
+let is_busy t = t.busy
+
+let add_peer t ~peer ~peer_as ~kind ?relationship () =
+  if Hashtbl.mem t.peers peer then invalid_arg "Router.add_peer: duplicate peer";
+  let controller =
+    match kind with Ebgp -> t.ebgp_controller | Ibgp -> t.ibgp_controller
+  in
+  Hashtbl.replace t.peers peer
+    {
+      peer_id = peer;
+      peer_as;
+      kind;
+      peer_rel = relationship;
+      controller;
+      up = true;
+      timer_running = false;
+      timer_event = None;
+      dest_timers = Hashtbl.create 8;
+      pending = Hashtbl.create 8;
+      advertised = Hashtbl.create 64;
+      flaps = Hashtbl.create 8;
+    };
+  t.peer_list <- List.merge Int.compare [ peer ] t.peer_list
+
+(* --- Load window ------------------------------------------------------- *)
+
+let roll_window t =
+  let now = Sched.now t.sched in
+  let w = t.config.Config.load_window in
+  let elapsed = now -. t.window_start in
+  if elapsed >= w then begin
+    if elapsed < 2.0 *. w then begin
+      t.last_utilization <- Float.min 1.0 (t.busy_in_window /. w);
+      t.last_msgs_in_window <- t.msgs_in_window
+    end
+    else begin
+      (* We skipped at least one whole window: the router was idle. *)
+      t.last_utilization <- 0.0;
+      t.last_msgs_in_window <- 0
+    end;
+    t.busy_in_window <- 0.0;
+    t.msgs_in_window <- 0;
+    t.window_start <- now -. Float.rem elapsed w
+  end
+
+let observe_load t =
+  let work = float_of_int (Iq.length t.input) *. t.mean_proc in
+  if work > t.max_unfinished_work then t.max_unfinished_work <- work;
+  let load =
+    {
+      Mrai.now = Sched.now t.sched;
+      queue_length = Iq.length t.input;
+      mean_processing_delay = t.mean_proc;
+      utilization = t.last_utilization;
+      updates_in_window = t.last_msgs_in_window;
+    }
+  in
+  Mrai.observe t.ebgp_controller load
+
+(* --- Sending and the MRAI gate ----------------------------------------- *)
+
+let activity t = t.cb.activity ~time:(Sched.now t.sched)
+
+let effective_interval t peer =
+  let base = Mrai.current_interval peer.controller in
+  if base <= 0.0 then 0.0
+  else if t.config.Config.mrai_jitter then base *. Rng.uniform t.rng ~lo:0.75 ~hi:1.0
+  else base
+
+let send_advert t peer dest path =
+  t.adverts_sent <- t.adverts_sent + 1;
+  Hashtbl.replace peer.advertised dest path;
+  t.cb.send ~src:t.id ~dst:peer.peer_id (Advertise { dest; path });
+  activity t
+
+let send_withdraw t peer dest =
+  t.withdrawals_sent <- t.withdrawals_sent + 1;
+  Hashtbl.remove peer.advertised dest;
+  t.cb.send ~src:t.id ~dst:peer.peer_id (Withdraw dest);
+  activity t
+
+(* What should [peer] currently be told about [dest]?  [None] = nothing
+   (so a withdrawal if something was advertised before). *)
+let export_target t peer dest =
+  Export.target ~config:t.config ~own_as:t.asn ~peer_kind:peer.kind ~peer_as:peer.peer_as
+    ?peer_rel:peer.peer_rel ~best:(Rib.best t.rib dest) ()
+
+let timer_idle t peer dest =
+  match t.config.Config.mrai_mode with
+  | Config.Per_peer -> not peer.timer_running
+  | Config.Per_dest -> not (Hashtbl.mem peer.dest_timers dest)
+
+(* Flush one pending destination against the current Loc-RIB.  Returns
+   [true] if an MRAI-limited message (an advertisement, or any message
+   when mrai_on_withdrawals) was sent. *)
+let flush_dest t peer dest =
+  match (export_target t peer dest, Hashtbl.find_opt peer.advertised dest) with
+  | None, None -> false
+  | Some path, Some advertised when path = advertised -> false
+  | Some path, _ ->
+    send_advert t peer dest path;
+    true
+  | None, Some _ ->
+    send_withdraw t peer dest;
+    t.config.Config.mrai_on_withdrawals
+
+let rec start_timer t peer =
+  let interval = effective_interval t peer in
+  if interval > 0.0 then begin
+    peer.timer_running <- true;
+    let ev = Sched.schedule t.sched ~delay:interval (fun () -> on_peer_timer t peer) in
+    peer.timer_event <- Some ev
+  end
+
+and on_peer_timer t peer =
+  peer.timer_running <- false;
+  peer.timer_event <- None;
+  if (not t.failed) && peer.up then begin
+    let dests = Hashtbl.fold (fun d () acc -> d :: acc) peer.pending [] in
+    let dests = List.sort Int.compare dests in
+    Hashtbl.reset peer.pending;
+    Hashtbl.reset peer.flaps;
+    let sent = List.fold_left (fun acc d -> if flush_dest t peer d then true else acc) false dests in
+    if sent then start_timer t peer
+  end
+
+let rec start_dest_timer t peer dest =
+  let interval = effective_interval t peer in
+  if interval > 0.0 then begin
+    let ev =
+      Sched.schedule t.sched ~delay:interval (fun () -> on_dest_timer t peer dest)
+    in
+    Hashtbl.replace peer.dest_timers dest ev
+  end
+
+and on_dest_timer t peer dest =
+  Hashtbl.remove peer.dest_timers dest;
+  if (not t.failed) && peer.up && Hashtbl.mem peer.pending dest then begin
+    Hashtbl.remove peer.pending dest;
+    Hashtbl.remove peer.flaps dest;
+    if flush_dest t peer dest then start_dest_timer t peer dest
+  end
+
+let after_send t peer dest =
+  match t.config.Config.mrai_mode with
+  | Config.Per_peer -> start_timer t peer
+  | Config.Per_dest -> start_dest_timer t peer dest
+
+(* Cancel whichever timer currently gates exports of [dest] to [peer]
+   (Deshpande-Sikdar "cancel the running MRAI timer"). *)
+let cancel_gate_timer t peer dest =
+  match t.config.Config.mrai_mode with
+  | Config.Per_peer -> (
+    match peer.timer_event with
+    | Some ev ->
+      Sched.cancel t.sched ev;
+      peer.timer_event <- None;
+      peer.timer_running <- false
+    | None -> ())
+  | Config.Per_dest -> (
+    match Hashtbl.find_opt peer.dest_timers dest with
+    | Some ev ->
+      Sched.cancel t.sched ev;
+      Hashtbl.remove peer.dest_timers dest
+    | None -> ())
+
+(* Deshpande-Sikdar method 1: is the new export strictly better than what
+   the peer currently holds? *)
+let is_improvement peer dest path =
+  match Hashtbl.find_opt peer.advertised dest with
+  | None -> true
+  | Some advertised -> path_length path < path_length advertised
+
+let bump_flaps peer dest =
+  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt peer.flaps dest) in
+  Hashtbl.replace peer.flaps dest count;
+  count
+
+(* A route change for [dest] happened: decide what (if anything) to tell
+   [peer], applying the MRAI gate (and any configured bypass). *)
+let schedule_export t peer dest =
+  if peer.up then
+    match (export_target t peer dest, Hashtbl.find_opt peer.advertised dest) with
+    | None, None -> Hashtbl.remove peer.pending dest
+    | Some path, Some advertised when path = advertised -> Hashtbl.remove peer.pending dest
+    | Some path, _ ->
+      if timer_idle t peer dest then begin
+        ignore (flush_dest t peer dest);
+        after_send t peer dest
+      end
+      else begin
+        let flap_count = bump_flaps peer dest in
+        match t.config.Config.mrai_bypass with
+        | Config.No_bypass -> Hashtbl.replace peer.pending dest ()
+        | Config.Cancel_on_improvement ->
+          if is_improvement peer dest path then begin
+            cancel_gate_timer t peer dest;
+            Hashtbl.remove peer.pending dest;
+            ignore (flush_dest t peer dest);
+            after_send t peer dest
+          end
+          else Hashtbl.replace peer.pending dest ()
+        | Config.Flap_threshold k ->
+          if flap_count < k then begin
+            (* Below the flap threshold the MRAI is not applied to this
+               destination: the update goes out immediately and the gate
+               timer is left untouched. *)
+            Hashtbl.remove peer.pending dest;
+            ignore (flush_dest t peer dest)
+          end
+          else Hashtbl.replace peer.pending dest ()
+      end
+    | None, Some _ ->
+      if t.config.Config.mrai_on_withdrawals then begin
+        if timer_idle t peer dest then begin
+          ignore (flush_dest t peer dest);
+          after_send t peer dest
+        end
+        else Hashtbl.replace peer.pending dest ()
+      end
+      else begin
+        (* RFC behaviour: withdrawals are not rate-limited. *)
+        Hashtbl.remove peer.pending dest;
+        send_withdraw t peer dest
+      end
+
+(* Paper Section 5 "future work": apply a dynamic level change to running
+   timers immediately (re-armed with the new interval from now) instead of
+   waiting for their natural restart. *)
+let rearm_running_timers t =
+  let level = Mrai.level t.ebgp_controller in
+  if level <> t.last_level then begin
+    t.last_level <- level;
+    if t.config.Config.dynamic_restart_timers then
+      List.iter
+        (fun pid ->
+          let peer = Hashtbl.find t.peers pid in
+          if peer.up && peer.kind = Ebgp then
+            match t.config.Config.mrai_mode with
+            | Config.Per_peer ->
+              if peer.timer_running then begin
+                (match peer.timer_event with
+                | Some ev -> Sched.cancel t.sched ev
+                | None -> ());
+                peer.timer_event <- None;
+                peer.timer_running <- false;
+                start_timer t peer
+              end
+            | Config.Per_dest ->
+              let dests =
+                List.sort Int.compare
+                  (Hashtbl.fold (fun d _ acc -> d :: acc) peer.dest_timers [])
+              in
+              List.iter
+                (fun d ->
+                  (match Hashtbl.find_opt peer.dest_timers d with
+                  | Some ev -> Sched.cancel t.sched ev
+                  | None -> ());
+                  Hashtbl.remove peer.dest_timers d;
+                  start_dest_timer t peer d)
+                dests)
+        t.peer_list
+  end
+
+let reconsider t dest =
+  if Rib.decide t.rib dest then begin
+    activity t;
+    List.iter
+      (fun pid -> schedule_export t (Hashtbl.find t.peers pid) dest)
+      t.peer_list
+  end
+
+(* --- Flap damping (RFC 2439) -------------------------------------------- *)
+
+(* A suppressed route is parked instead of installed; when its penalty
+   decays below the reuse threshold it is installed as if freshly
+   received. *)
+let rec schedule_reuse_check t damping ~src ~dest =
+  match Damping.reuse_time damping ~peer:src ~dest ~now:(Sched.now t.sched) with
+  | None -> ()
+  | Some time ->
+    let delay = Float.max 0.001 (time -. Sched.now t.sched) in
+    ignore
+      (Sched.schedule t.sched ~delay (fun () ->
+           if not t.failed then
+             match Hashtbl.find_opt t.peers src with
+             | Some peer when peer.up ->
+               if Damping.is_suppressed damping ~peer:src ~dest ~now:(Sched.now t.sched)
+               then schedule_reuse_check t damping ~src ~dest
+               else begin
+                 match Hashtbl.find_opt t.parked (src, dest) with
+                 | Some (kind, path) ->
+                   Hashtbl.remove t.parked (src, dest);
+                   Rib.set_in t.rib dest ~peer:src ~kind path;
+                   reconsider t dest;
+                   activity t
+                 | None -> ()
+               end
+             | Some _ | None -> ()))
+
+let apply_update_with_damping t damping peer ~src update =
+  let now = Sched.now t.sched in
+  match update with
+  | Withdraw dest ->
+    Damping.record_flap damping ~peer:src ~dest ~now ~kind:`Withdraw;
+    Hashtbl.remove t.parked (src, dest);
+    Rib.withdraw_in t.rib dest ~peer:src
+  | Advertise { dest; path } ->
+    Damping.record_flap damping ~peer:src ~dest ~now ~kind:`Update;
+    if path_contains path t.asn then begin
+      Hashtbl.remove t.parked (src, dest);
+      Rib.withdraw_in t.rib dest ~peer:src
+    end
+    else if Damping.is_suppressed damping ~peer:src ~dest ~now then begin
+      Hashtbl.replace t.parked (src, dest) (peer.kind, path);
+      Rib.withdraw_in t.rib dest ~peer:src;
+      schedule_reuse_check t damping ~src ~dest
+    end
+    else begin
+      Hashtbl.remove t.parked (src, dest);
+      Rib.set_in t.rib dest ~peer:src ~kind:peer.kind ?rel:peer.peer_rel path
+    end
+
+(* --- Input queue and processing ---------------------------------------- *)
+
+let handle_work t (item : work Iq.item) =
+  match item.payload with
+  | Update_msg update -> (
+    match Hashtbl.find_opt t.peers item.src with
+    | None -> ()
+    | Some peer ->
+      if peer.up then begin
+        (match t.damping with
+        | Some damping -> apply_update_with_damping t damping peer ~src:item.src update
+        | None -> (
+          match update with
+          | Advertise { dest; path } ->
+            if path_contains path t.asn then
+              (* Receiver-side loop detection: treat as implicit withdraw. *)
+              Rib.withdraw_in t.rib dest ~peer:item.src
+            else
+              Rib.set_in t.rib dest ~peer:item.src ~kind:peer.kind ?rel:peer.peer_rel
+                path
+          | Withdraw dest -> Rib.withdraw_in t.rib dest ~peer:item.src));
+        reconsider t (update_dest update)
+      end)
+  | Peer_down_msg ->
+    (* Parked (suppressed) routes from the dead peer must go too. *)
+    Hashtbl.iter
+      (fun (src, dest) _ -> if src = item.src then Hashtbl.remove t.parked (src, dest))
+      (Hashtbl.copy t.parked);
+    let affected = Rib.drop_peer t.rib ~peer:item.src in
+    List.iter (reconsider t) (List.sort Int.compare affected)
+
+let rec begin_next t =
+  match Iq.pop t.input with
+  | None -> t.busy <- false
+  | Some item ->
+    t.busy <- true;
+    let delay = Dist.sample t.config.Config.processing_delay t.rng in
+    ignore (Sched.schedule t.sched ~delay (fun () -> complete t item delay))
+
+and complete t item delay =
+  if not t.failed then begin
+    roll_window t;
+    t.busy_in_window <- t.busy_in_window +. delay;
+    t.msgs_processed <- t.msgs_processed + 1;
+    handle_work t item;
+    observe_load t;
+    rearm_running_timers t;
+    activity t;
+    begin_next t
+  end
+
+let enqueue t ~src ~dest work =
+  if not t.failed then begin
+    roll_window t;
+    Iq.push t.input { Iq.src; dest; payload = work };
+    (match work with Update_msg _ -> t.msgs_in_window <- t.msgs_in_window + 1 | _ -> ());
+    observe_load t;
+    rearm_running_timers t;
+    if not t.busy then begin_next t
+  end
+
+let receive t ~src update = enqueue t ~src ~dest:(update_dest update) (Update_msg update)
+
+let cancel_peer_timers t peer =
+  (match peer.timer_event with
+  | Some ev ->
+    Sched.cancel t.sched ev;
+    peer.timer_event <- None;
+    peer.timer_running <- false
+  | None -> ());
+  Hashtbl.iter (fun _ ev -> Sched.cancel t.sched ev) peer.dest_timers;
+  Hashtbl.reset peer.dest_timers
+
+let peer_down t peer_id =
+  if not t.failed then
+    match Hashtbl.find_opt t.peers peer_id with
+    | None -> ()
+    | Some peer ->
+      if peer.up then begin
+        peer.up <- false;
+        cancel_peer_timers t peer;
+        Hashtbl.reset peer.pending;
+        Hashtbl.reset peer.flaps;
+        enqueue t ~src:peer_id ~dest:(-1) Peer_down_msg
+      end
+
+let start t =
+  List.iter
+    (fun dest ->
+      Rib.originate t.rib dest;
+      reconsider t dest)
+    (Config.dests_of_as t.config ~asn:t.asn)
+
+let warm_install t ~dest ~local ~entries ~advertised =
+  if local then Rib.originate t.rib dest;
+  List.iter (fun (peer, kind, path) -> Rib.set_in t.rib dest ~peer ~kind path) entries;
+  ignore (Rib.decide t.rib dest);
+  List.iter
+    (fun (peer_id, path) ->
+      match Hashtbl.find_opt t.peers peer_id with
+      | Some peer -> Hashtbl.replace peer.advertised dest path
+      | None -> invalid_arg "Router.warm_install: unknown peer")
+    advertised
+
+let advertised_to t ~peer dest =
+  match Hashtbl.find_opt t.peers peer with
+  | None -> None
+  | Some p -> Hashtbl.find_opt p.advertised dest
+
+let fail t =
+  if not t.failed then begin
+    t.failed <- true;
+    t.busy <- false;
+    Iq.clear t.input;
+    Hashtbl.iter (fun _ peer -> cancel_peer_timers t peer) t.peers
+  end
+
+(* --- Inspection --------------------------------------------------------- *)
+
+let best_path_to t dest = Rib.best_path t.rib dest
+let max_unfinished_work t = t.max_unfinished_work
+
+let next_hop t dest =
+  match Rib.best t.rib dest with
+  | None -> None
+  | Some Rib.Local -> Some t.id
+  | Some (Rib.Learned e) -> Some e.peer
+
+type metrics = {
+  adverts_sent : int;
+  withdrawals_sent : int;
+  msgs_processed : int;
+  eliminated : int;
+  max_queue : int;
+  mrai_transitions : int;
+  mrai_level : int;
+  damping_suppressions : int;
+}
+
+let metrics (t : t) =
+  {
+    adverts_sent = t.adverts_sent;
+    withdrawals_sent = t.withdrawals_sent;
+    msgs_processed = t.msgs_processed;
+    eliminated = Iq.eliminated t.input;
+    max_queue = Iq.max_length t.input;
+    mrai_transitions = Mrai.transitions t.ebgp_controller;
+    mrai_level = Mrai.level t.ebgp_controller;
+    damping_suppressions =
+      (match t.damping with None -> 0 | Some d -> Damping.suppressions d);
+  }

@@ -1,0 +1,122 @@
+(** A BGP speaker as a discrete-event process.
+
+    The model mirrors what the paper's SSFNet setup exercises:
+
+    - one input queue of received update messages, served by a single CPU;
+      each message costs one draw of the processing-delay distribution
+      (Section 3.2: uniform 1-30 ms);
+    - the queue discipline is pluggable ({!Bgp_core.Input_queue}): FIFO
+      (default BGP) or the paper's batched per-destination scheme;
+    - route changes are exported to every peer as Adj-RIB-Out deltas gated
+      by the MRAI: if the per-peer timer is idle the update goes out
+      immediately and the timer starts, otherwise the destination is marked
+      pending and flushed at expiry *against the then-current Loc-RIB* —
+      this is precisely the mechanism that lets an overloaded router send
+      routes that are about to be invalidated by updates still in its
+      queue (Section 2);
+    - the MRAI interval used at each timer (re)start comes from a
+      {!Bgp_core.Mrai_controller}, so static, degree-dependent and dynamic
+      schemes all plug in unchanged;
+    - withdrawals are sent immediately unless [mrai_on_withdrawals]. *)
+
+open Types
+
+type t
+
+type callbacks = {
+  send : src:router_id -> dst:router_id -> update -> unit;
+      (** deliver an update message; the network layer adds link delay *)
+  activity : time:float -> unit;
+      (** invoked on every route-affecting action (for convergence
+          detection) *)
+}
+
+val create :
+  sched:Bgp_engine.Scheduler.t ->
+  rng:Bgp_engine.Rng.t ->
+  config:Config.t ->
+  id:router_id ->
+  asn:as_id ->
+  degree:int ->
+  callbacks ->
+  t
+(** [degree] is the value the degree-dependent MRAI scheme keys on
+    (inter-AS degree of the router). *)
+
+val id : t -> router_id
+val asn : t -> as_id
+
+val add_peer :
+  t ->
+  peer:router_id ->
+  peer_as:as_id ->
+  kind:session_kind ->
+  ?relationship:relationship ->
+  unit ->
+  unit
+(** Declare a BGP session.  [relationship] enables Gao-Rexford policy
+    (ranking and valley-free export) on this session; omit it for the
+    paper's policy-free operation.  All sessions must be added before
+    [start]. *)
+
+val start : t -> unit
+(** Originate this router's AS prefix and export it. *)
+
+val warm_install :
+  t ->
+  dest:dest ->
+  local:bool ->
+  entries:(router_id * session_kind * path) list ->
+  advertised:(router_id * path) list ->
+  unit
+(** Install pre-computed steady state for one destination: Adj-RIB-In
+    [entries], the local-origination flag, and the Adj-RIB-Out contents
+    per peer — silently (no exports are scheduled).  Used by the analytic
+    warm-up; the caller is responsible for supplying a fixpoint (otherwise
+    the first failure event will trigger spurious churn). *)
+
+val advertised_to : t -> peer:router_id -> dest -> path option
+(** Current Adj-RIB-Out entry (what was last advertised to the peer). *)
+
+val receive : t -> src:router_id -> update -> unit
+(** Called by the network layer when a message arrives (after link
+    delay).  Enqueues the message for processing. *)
+
+val peer_down : t -> router_id -> unit
+(** The session to [peer] dropped: stop sending to it and enqueue the
+    removal of everything learned from it (one work item, one
+    processing-delay draw). *)
+
+val fail : t -> unit
+(** This router dies: it stops processing, sending, and receiving. *)
+
+val is_failed : t -> bool
+
+(** {2 Inspection (tests, invariant checks, metrics)} *)
+
+val best_path_to : t -> dest -> path option
+val next_hop : t -> dest -> router_id option
+(** The router itself for local routes. *)
+
+val rib : t -> Rib.t
+val peer_ids : t -> router_id list
+val queue_length : t -> int
+val is_busy : t -> bool
+
+val max_unfinished_work : t -> float
+(** High-water mark of queue length x mean processing delay, in seconds —
+    the overload signal of the paper's dynamic scheme (Section 4.3).  A
+    router whose value exceeded upTh was overloaded at some point. *)
+
+type metrics = {
+  adverts_sent : int;
+  withdrawals_sent : int;
+  msgs_processed : int;
+  eliminated : int;  (** stale messages deleted by the batching queue *)
+  max_queue : int;
+  mrai_transitions : int;
+  mrai_level : int;
+  damping_suppressions : int;  (** routes that crossed into suppression *)
+}
+
+val metrics : t -> metrics

@@ -1,0 +1,192 @@
+open Types
+module Sched = Bgp_engine.Scheduler
+module Rng = Bgp_engine.Rng
+
+type state = Idle | Open_sent | Open_confirm | Established
+
+let pp_state ppf s =
+  Fmt.string ppf
+    (match s with
+    | Idle -> "Idle"
+    | Open_sent -> "OpenSent"
+    | Open_confirm -> "OpenConfirm"
+    | Established -> "Established")
+
+type message =
+  | Open of { asn : as_id; hold_time : float }
+  | Keepalive
+  | Notification of string
+  | Update_msg of update
+
+let pp_message ppf = function
+  | Open { asn; hold_time } -> Fmt.pf ppf "OPEN(as%d, hold=%g)" asn hold_time
+  | Keepalive -> Fmt.string ppf "KEEPALIVE"
+  | Notification reason -> Fmt.pf ppf "NOTIFICATION(%s)" reason
+  | Update_msg u -> Fmt.pf ppf "UPDATE(%a)" pp_update u
+
+type config = { hold_time : float; keepalive_fraction : float; jitter : bool }
+
+let default_config = { hold_time = 90.0; keepalive_fraction = 1.0 /. 3.0; jitter = true }
+
+type callbacks = {
+  send_wire : message -> unit;
+  on_established : unit -> unit;
+  on_closed : reason:string -> unit;
+  deliver_update : update -> unit;
+}
+
+type t = {
+  sched : Sched.t;
+  rng : Rng.t;
+  config : config;
+  local_as : as_id;
+  cb : callbacks;
+  mutable state : state;
+  mutable negotiated_hold : float option;
+  mutable hold_event : Sched.event_id option;
+  mutable keepalive_event : Sched.event_id option;
+  mutable keepalives_sent : int;
+  mutable updates_delivered : int;
+}
+
+let create ~sched ~rng ~config ~local_as cb =
+  {
+    sched;
+    rng;
+    config;
+    local_as;
+    cb;
+    state = Idle;
+    negotiated_hold = None;
+    hold_event = None;
+    keepalive_event = None;
+    keepalives_sent = 0;
+    updates_delivered = 0;
+  }
+
+let state t = t.state
+let negotiated_hold_time t = t.negotiated_hold
+let keepalives_sent t = t.keepalives_sent
+let updates_delivered t = t.updates_delivered
+
+let jittered t interval =
+  if t.config.jitter then interval *. Rng.uniform t.rng ~lo:0.75 ~hi:1.0 else interval
+
+let cancel_timer t = function
+  | Some ev -> Sched.cancel t.sched ev
+  | None -> ()
+
+let cancel_all_timers t =
+  cancel_timer t t.hold_event;
+  cancel_timer t t.keepalive_event;
+  t.hold_event <- None;
+  t.keepalive_event <- None
+
+let rec restart_hold_timer t =
+  cancel_timer t t.hold_event;
+  match t.negotiated_hold with
+  | None -> t.hold_event <- None
+  | Some hold ->
+    if hold > 0.0 then
+      t.hold_event <-
+        Some (Sched.schedule t.sched ~delay:(jittered t hold) (fun () -> on_hold_expiry t))
+
+and on_hold_expiry t =
+  t.hold_event <- None;
+  if t.state <> Idle then begin
+    t.cb.send_wire (Notification "hold timer expired");
+    cancel_all_timers t;
+    t.state <- Idle;
+    t.cb.on_closed ~reason:"hold timer expired"
+  end
+
+let rec schedule_keepalive t =
+  cancel_timer t t.keepalive_event;
+  match t.negotiated_hold with
+  | None -> t.keepalive_event <- None
+  | Some hold ->
+    let interval = t.config.keepalive_fraction *. hold in
+    if interval > 0.0 then
+      t.keepalive_event <-
+        Some
+          (Sched.schedule t.sched ~delay:(jittered t interval) (fun () ->
+               on_keepalive_timer t))
+
+and on_keepalive_timer t =
+  t.keepalive_event <- None;
+  if t.state = Established || t.state = Open_confirm then begin
+    t.keepalives_sent <- t.keepalives_sent + 1;
+    t.cb.send_wire Keepalive;
+    schedule_keepalive t
+  end
+
+let send_open t =
+  t.cb.send_wire (Open { asn = t.local_as; hold_time = t.config.hold_time })
+
+let start t =
+  if t.state = Idle then begin
+    send_open t;
+    t.state <- Open_sent;
+    (* Until negotiation completes, guard the handshake with our own
+       proposed hold time. *)
+    t.negotiated_hold <- Some t.config.hold_time;
+    restart_hold_timer t
+  end
+
+let go_idle t ~reason ~notify =
+  if t.state <> Idle then begin
+    if notify then t.cb.send_wire (Notification reason);
+    cancel_all_timers t;
+    t.state <- Idle;
+    t.cb.on_closed ~reason
+  end
+
+let close t ~reason = go_idle t ~reason ~notify:true
+
+let become_established t =
+  t.state <- Established;
+  restart_hold_timer t;
+  t.cb.on_established ()
+
+let handle_open t ~hold_time =
+  t.negotiated_hold <- Some (Float.min t.config.hold_time hold_time);
+  match t.state with
+  | Idle ->
+    (* Passive open: respond with our OPEN, confirm theirs. *)
+    send_open t;
+    t.cb.send_wire Keepalive;
+    t.state <- Open_confirm;
+    restart_hold_timer t;
+    schedule_keepalive t
+  | Open_sent ->
+    t.cb.send_wire Keepalive;
+    t.state <- Open_confirm;
+    restart_hold_timer t;
+    schedule_keepalive t
+  | Open_confirm | Established ->
+    (* Duplicate OPEN: renegotiate the hold time, stay put. *)
+    restart_hold_timer t
+
+let handle_wire t message =
+  match message with
+  | Open { hold_time; _ } -> handle_open t ~hold_time
+  | Keepalive -> (
+    match t.state with
+    | Open_confirm -> become_established t
+    | Established -> restart_hold_timer t
+    | Open_sent | Idle -> ())
+  | Notification reason -> go_idle t ~reason:("peer: " ^ reason) ~notify:false
+  | Update_msg update -> (
+    match t.state with
+    | Established ->
+      restart_hold_timer t;
+      t.updates_delivered <- t.updates_delivered + 1;
+      t.cb.deliver_update update
+    | Idle | Open_sent | Open_confirm -> ())
+
+let send_update t update =
+  if t.state = Established then begin
+    t.cb.send_wire (Update_msg update);
+    true
+  end
+  else false

@@ -1,0 +1,71 @@
+(** BGP session endpoint: a simplified RFC 1771 Section 8 finite state
+    machine with OPEN negotiation, keepalive maintenance and hold-timer
+    expiry.
+
+    The convergence experiments (like the paper's) signal failures at the
+    link layer, so they do not need per-keepalive events; this module
+    provides the full session substrate — used directly in tests and
+    examples, and as the timing model behind the network layer's
+    hold-timer failure-detection mode ({!Network.config}). *)
+
+open Types
+
+type state = Idle | Open_sent | Open_confirm | Established
+
+val pp_state : Format.formatter -> state -> unit
+
+type message =
+  | Open of { asn : as_id; hold_time : float }
+  | Keepalive
+  | Notification of string
+  | Update_msg of update
+
+val pp_message : Format.formatter -> message -> unit
+
+type config = {
+  hold_time : float;  (** proposed hold time; RFC suggests 90 s *)
+  keepalive_fraction : float;
+      (** keepalive interval = fraction x negotiated hold time; RFC
+          suggests 1/3 *)
+  jitter : bool;  (** RFC 1771 jitter (x U(0.75, 1)) on both timers *)
+}
+
+val default_config : config
+(** 90 s hold, 1/3 keepalive fraction, jitter on. *)
+
+type callbacks = {
+  send_wire : message -> unit;  (** hand a message to the transport *)
+  on_established : unit -> unit;
+  on_closed : reason:string -> unit;
+  deliver_update : update -> unit;  (** an UPDATE arrived in Established *)
+}
+
+type t
+
+val create :
+  sched:Bgp_engine.Scheduler.t ->
+  rng:Bgp_engine.Rng.t ->
+  config:config ->
+  local_as:as_id ->
+  callbacks ->
+  t
+
+val start : t -> unit
+(** Actively open: send OPEN and await the peer's. *)
+
+val handle_wire : t -> message -> unit
+(** Feed a message from the transport (any state). *)
+
+val send_update : t -> update -> bool
+(** [false] if the session is not Established (the update is dropped, as
+    BGP has no session-less delivery). *)
+
+val close : t -> reason:string -> unit
+(** Local administrative teardown: NOTIFICATION, then Idle. *)
+
+val state : t -> state
+val negotiated_hold_time : t -> float option
+(** [min] of both sides' proposals; [None] before negotiation. *)
+
+val keepalives_sent : t -> int
+val updates_delivered : t -> int

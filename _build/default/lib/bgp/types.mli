@@ -1,0 +1,48 @@
+(** Core BGP vocabulary shared by the protocol modules.
+
+    Destinations are AS-level prefixes: every AS originates exactly one
+    prefix, identified by its AS number (the granularity at which the
+    paper counts update messages). *)
+
+type router_id = int
+type as_id = int
+
+type dest = as_id
+(** The prefix originated by that AS. *)
+
+type path = as_id list
+(** AS path: head is the AS of the last speaker that prepended (the
+    advertising neighbour for eBGP-learned routes), the origin AS is last.
+    A locally-originated route has the empty path. *)
+
+val path_length : path -> int
+val path_contains : path -> as_id -> bool
+val pp_path : Format.formatter -> path -> unit
+
+type update =
+  | Advertise of { dest : dest; path : path }
+  | Withdraw of dest
+
+val update_dest : update -> dest
+val is_withdrawal : update -> bool
+val pp_update : Format.formatter -> update -> unit
+
+type session_kind = Ebgp | Ibgp
+
+val pp_session_kind : Format.formatter -> session_kind -> unit
+
+(** Commercial relationship of a neighbour (Gao-Rexford model).  The paper
+    runs policy-free ("no policy based restrictions on route
+    advertisements", Section 3.2); the policy machinery is an optional
+    overlay of this library. *)
+type relationship =
+  | Customer  (** the neighbour pays us *)
+  | Peer_link  (** settlement-free peer *)
+  | Provider  (** we pay the neighbour *)
+
+val pp_relationship : Format.formatter -> relationship -> unit
+
+val preference_of_relationship : relationship option -> int
+(** Local-preference class: routes via customers (0) over peers (1) over
+    providers (2); [None] (no policy) maps to 0 so policy-free ranking is
+    unchanged. *)

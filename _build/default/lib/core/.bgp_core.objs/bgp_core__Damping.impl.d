@@ -1,0 +1,1 @@
+lib/core/damping.ml: Float Hashtbl

@@ -1,0 +1,1 @@
+lib/core/input_queue.ml: Hashtbl Option Printf Queue

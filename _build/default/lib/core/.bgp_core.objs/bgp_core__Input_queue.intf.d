@@ -1,0 +1,1 @@
+lib/core/input_queue.mli:

@@ -1,0 +1,1 @@
+lib/core/mrai_controller.ml: Array List Printf String

@@ -1,0 +1,112 @@
+type config = {
+  withdraw_penalty : float;
+  update_penalty : float;
+  half_life : float;
+  cut_threshold : float;
+  reuse_threshold : float;
+  max_suppress : float;
+}
+
+let rfc_config =
+  {
+    withdraw_penalty = 1.0;
+    update_penalty = 0.5;
+    half_life = 900.0;
+    cut_threshold = 3.0;
+    reuse_threshold = 0.75;
+    max_suppress = 3600.0;
+  }
+
+let sim_config = { rfc_config with half_life = 30.0; max_suppress = 120.0 }
+
+type record = {
+  mutable penalty : float;  (* value at [updated] *)
+  mutable updated : float;
+  mutable suppressed : bool;
+  mutable suppressed_at : float;
+}
+
+type t = {
+  config : config;
+  records : (int * int, record) Hashtbl.t;
+  mutable suppressions : int;
+}
+
+let create config =
+  if config.reuse_threshold >= config.cut_threshold then
+    invalid_arg "Damping.create: reuse threshold must be below the cut threshold";
+  { config; records = Hashtbl.create 256; suppressions = 0 }
+
+let decayed config penalty ~dt = penalty *. (2.0 ** (-.dt /. config.half_life))
+
+(* Bring a record's penalty forward to [now] and refresh its suppression
+   state (including the max-suppress cap). *)
+let refresh t record ~now =
+  let dt = now -. record.updated in
+  if dt > 0.0 then begin
+    record.penalty <- decayed t.config record.penalty ~dt;
+    record.updated <- now
+  end;
+  if record.suppressed then
+    if
+      record.penalty < t.config.reuse_threshold
+      || now -. record.suppressed_at >= t.config.max_suppress
+    then record.suppressed <- false
+
+let find t ~peer ~dest = Hashtbl.find_opt t.records (peer, dest)
+
+let record_flap t ~peer ~dest ~now ~kind =
+  let record =
+    match find t ~peer ~dest with
+    | Some r -> r
+    | None ->
+      let r = { penalty = 0.0; updated = now; suppressed = false; suppressed_at = 0.0 } in
+      Hashtbl.replace t.records (peer, dest) r;
+      r
+  in
+  refresh t record ~now;
+  let add =
+    match kind with
+    | `Withdraw -> t.config.withdraw_penalty
+    | `Update -> t.config.update_penalty
+  in
+  record.penalty <- record.penalty +. add;
+  if (not record.suppressed) && record.penalty > t.config.cut_threshold then begin
+    record.suppressed <- true;
+    record.suppressed_at <- now;
+    t.suppressions <- t.suppressions + 1
+  end
+
+let penalty t ~peer ~dest ~now =
+  match find t ~peer ~dest with
+  | None -> 0.0
+  | Some record ->
+    refresh t record ~now;
+    record.penalty
+
+let is_suppressed t ~peer ~dest ~now =
+  match find t ~peer ~dest with
+  | None -> false
+  | Some record ->
+    refresh t record ~now;
+    record.suppressed
+
+let reuse_time t ~peer ~dest ~now =
+  match find t ~peer ~dest with
+  | None -> None
+  | Some record ->
+    refresh t record ~now;
+    if not record.suppressed then None
+    else begin
+      (* penalty * 2^(-dt/h) = reuse  =>  dt = h * log2 (penalty / reuse) *)
+      let dt =
+        t.config.half_life
+        *. (Float.log (record.penalty /. t.config.reuse_threshold) /. Float.log 2.0)
+      in
+      let capped =
+        Float.min (now +. dt) (record.suppressed_at +. t.config.max_suppress)
+      in
+      Some (Float.max now capped)
+    end
+
+let suppressions t = t.suppressions

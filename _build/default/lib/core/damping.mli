@@ -1,0 +1,49 @@
+(** Route flap damping (RFC 2439), the other classic mechanism for taming
+    BGP churn.  Not part of the paper's proposal, but the natural
+    comparison point: damping suppresses individual flapping routes, the
+    paper's schemes pace and batch *all* updates under overload.  The
+    `damping` ablation shows why damping does not help large-scale
+    failures (path exploration looks like flapping, so valid routes get
+    suppressed and convergence stretches).
+
+    Penalty model: each flap adds a fixed penalty that decays
+    exponentially ([2^(-dt / half_life)]).  A route whose penalty exceeds
+    [cut_threshold] is suppressed until it decays below
+    [reuse_threshold]. *)
+
+type config = {
+  withdraw_penalty : float;  (** added when the route is withdrawn *)
+  update_penalty : float;  (** added when it is re-advertised / changed *)
+  half_life : float;  (** seconds *)
+  cut_threshold : float;
+  reuse_threshold : float;
+  max_suppress : float;  (** upper bound on suppression time, seconds *)
+}
+
+val rfc_config : config
+(** RFC 2439 / Cisco-like defaults (normalised to 1.0 per withdrawal):
+    withdraw 1.0, update 0.5, half-life 900 s, cut 3.0, reuse 0.75,
+    max suppress 3600 s. *)
+
+val sim_config : config
+(** The same shape scaled to this paper's timescales (half-life 30 s, max
+    suppress 120 s) so damping actually engages within a simulation. *)
+
+type t
+
+val create : config -> t
+
+val record_flap : t -> peer:int -> dest:int -> now:float -> kind:[ `Withdraw | `Update ] -> unit
+
+val penalty : t -> peer:int -> dest:int -> now:float -> float
+(** Current (decayed) penalty; 0 if never flapped. *)
+
+val is_suppressed : t -> peer:int -> dest:int -> now:float -> bool
+
+val reuse_time : t -> peer:int -> dest:int -> now:float -> float option
+(** Absolute time at which a currently-suppressed route decays below the
+    reuse threshold (capped by [max_suppress]); [None] if not
+    suppressed. *)
+
+val suppressions : t -> int
+(** How many flap records crossed into suppression (metric). *)

@@ -1,0 +1,56 @@
+(** Router input-queue disciplines — the data-path half of the paper's
+    contribution (Section 4.4).
+
+    [Fifo] is default BGP: update messages are processed strictly in
+    arrival order.
+
+    [Batched] keeps one logical queue per destination (the paper suggests
+    hashing; we use a hash table keyed by destination).  All queued updates
+    for a destination are processed back-to-back, and when a new update
+    arrives from a neighbour that already has one queued for the same
+    destination, the older message is deleted — it is stale, the new one
+    supersedes it.
+
+    [Fifo_dedup] is an ablation: stale-update elimination without the
+    per-destination reordering, to separate the two effects.
+
+    [Tcp_batch] models what the paper's Section 4.4 closing paragraph says
+    routers already do: updates are read one TCP buffer per peer and
+    processed as a batch, so a stale update is only eliminated when its
+    replacement lands in the *same* batch (same peer, within [batch_size]
+    arrivals).  The paper predicts this helps less and less as failures
+    grow — the elimination probability per batch drops; the
+    `tcp-batching` ablation reproduces that. *)
+
+type discipline =
+  | Fifo
+  | Batched
+  | Fifo_dedup
+  | Tcp_batch of { batch_size : int }
+
+val discipline_name : discipline -> string
+
+type 'a item = { src : int; dest : int; payload : 'a }
+
+type 'a t
+
+val create : discipline -> 'a t
+val discipline : 'a t -> discipline
+
+val push : 'a t -> 'a item -> unit
+
+val pop : 'a t -> 'a item option
+(** Next message to process under the queue's discipline. *)
+
+val length : 'a t -> int
+(** Messages currently queued. *)
+
+val is_empty : 'a t -> bool
+
+val eliminated : 'a t -> int
+(** Stale messages deleted so far ([Batched] and [Fifo_dedup] only). *)
+
+val max_length : 'a t -> int
+(** High-water mark of [length] (overload metric). *)
+
+val clear : 'a t -> unit

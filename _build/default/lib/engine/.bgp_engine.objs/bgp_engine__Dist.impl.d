@@ -1,0 +1,1 @@
+lib/engine/dist.ml: Array Fmt Rng

@@ -1,0 +1,1 @@
+lib/engine/dist.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/engine/rng.ml: Array Int64

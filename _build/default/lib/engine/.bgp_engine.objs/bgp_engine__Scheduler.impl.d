@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Float Hashtbl Heap Int Printf

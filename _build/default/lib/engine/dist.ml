@@ -1,0 +1,57 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Bounded_pareto of { alpha : float; lo : float; hi : float }
+  | Discrete of (float * float) array
+
+let sample t rng =
+  match t with
+  | Constant v -> v
+  | Uniform { lo; hi } -> Rng.uniform rng ~lo ~hi
+  | Exponential { mean } ->
+    let u = 1.0 -. Rng.float rng in
+    -.mean *. log u
+  | Bounded_pareto { alpha; lo; hi } ->
+    (* Inverse CDF of the Pareto truncated to [lo, hi]. *)
+    let u = Rng.float rng in
+    let ratio = (lo /. hi) ** alpha in
+    lo /. ((1.0 -. (u *. (1.0 -. ratio))) ** (1.0 /. alpha))
+  | Discrete items ->
+    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 items in
+    assert (total > 0.0);
+    let x = Rng.float rng *. total in
+    let rec pick i acc =
+      if i = Array.length items - 1 then snd items.(i)
+      else
+        let w, v = items.(i) in
+        let acc = acc +. w in
+        if x < acc then v else pick (i + 1) acc
+    in
+    pick 0 0.0
+
+let mean t =
+  match t with
+  | Constant v -> v
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean } -> mean
+  | Bounded_pareto { alpha; lo; hi } ->
+    if alpha = 1.0 then
+      let h = hi and l = lo in
+      h *. l /. (h -. l) *. log (h /. l)
+    else
+      let la = lo ** alpha in
+      let ratio = (lo /. hi) ** alpha in
+      la /. (1.0 -. ratio)
+      *. (alpha /. (alpha -. 1.0))
+      *. ((1.0 /. (lo ** (alpha -. 1.0))) -. (1.0 /. (hi ** (alpha -. 1.0))))
+  | Discrete items ->
+    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 items in
+    Array.fold_left (fun acc (w, v) -> acc +. (w *. v)) 0.0 items /. total
+
+let pp ppf = function
+  | Constant v -> Fmt.pf ppf "const(%g)" v
+  | Uniform { lo; hi } -> Fmt.pf ppf "uniform(%g,%g)" lo hi
+  | Exponential { mean } -> Fmt.pf ppf "exp(mean=%g)" mean
+  | Bounded_pareto { alpha; lo; hi } -> Fmt.pf ppf "pareto(a=%g,%g,%g)" alpha lo hi
+  | Discrete items -> Fmt.pf ppf "discrete(%d)" (Array.length items)

@@ -1,0 +1,19 @@
+(** Sampling distributions used by the simulator (processing delays, AS
+    sizes, timer jitter, ...). *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Bounded_pareto of { alpha : float; lo : float; hi : float }
+      (** Heavy-tailed on [\[lo, hi\]]; used for AS sizes (Section 3.1). *)
+  | Discrete of (float * float) array
+      (** [(weight, value)] pairs; weights need not be normalised. *)
+
+val sample : t -> Rng.t -> float
+
+val mean : t -> float
+(** Analytic mean of the distribution (used e.g. to convert queue length
+    into "unfinished work" in the dynamic-MRAI controller). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t x =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let new_capacity = max 16 (2 * capacity) in
+    let data = Array.make new_capacity x in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && t.cmp t.data.(left) t.data.(!smallest) < 0 then smallest := left;
+  if right < t.size && t.cmp t.data.(right) t.data.(!smallest) < 0 then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let to_list t =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i) :: acc) in
+  collect (t.size - 1) []

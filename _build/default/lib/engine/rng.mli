@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit [t]
+    so that a run is a pure function of its seeds.  Streams can be [split]
+    so that adding draws to one component never perturbs another. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of
+    subsequent draws from [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element.  Requires a non-empty array. *)

@@ -1,0 +1,88 @@
+type event_id = int
+
+type entry = { time : float; seq : int; id : event_id }
+
+type t = {
+  heap : entry Heap.t;
+  callbacks : (event_id, unit -> unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable next_id : event_id;
+  mutable executed : int;
+  mutable last_event_time : float;
+}
+
+let compare_entry a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    heap = Heap.create ~cmp:compare_entry;
+    callbacks = Hashtbl.create 1024;
+    clock = 0.0;
+    next_seq = 0;
+    next_id = 0;
+    executed = 0;
+    last_event_time = 0.0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Scheduler.schedule_at: time %g is in the past (now %g)" time t.clock);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap { time; seq; id };
+  Hashtbl.replace t.callbacks id f;
+  id
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Scheduler.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel t id = Hashtbl.remove t.callbacks id
+let pending t = Hashtbl.length t.callbacks
+
+(* Entries whose callback was cancelled stay in the heap and are skipped
+   lazily when popped. *)
+let rec next_live t =
+  match Heap.peek t.heap with
+  | None -> None
+  | Some entry ->
+    if Hashtbl.mem t.callbacks entry.id then Some entry
+    else begin
+      ignore (Heap.pop_exn t.heap);
+      next_live t
+    end
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some entry ->
+    ignore (Heap.pop_exn t.heap);
+    let f = Hashtbl.find t.callbacks entry.id in
+    Hashtbl.remove t.callbacks entry.id;
+    t.clock <- entry.time;
+    t.executed <- t.executed + 1;
+    t.last_event_time <- entry.time;
+    f ();
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+      match next_live t with None -> false | Some entry -> entry.time <= limit)
+  in
+  while continue () && step t do
+    ()
+  done
+
+let time_of_last_event t = t.last_event_time
+let events_executed t = t.executed

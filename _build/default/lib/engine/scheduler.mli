@@ -1,0 +1,41 @@
+(** Discrete-event scheduler: the simulation kernel.
+
+    Events are closures executed at a simulated instant.  Ties are broken
+    by scheduling order, so a run is fully deterministic.  This plays the
+    role SSFNet's kernel played for the paper. *)
+
+type t
+
+type event_id
+(** Handle for cancellation.  Each [schedule] returns a fresh id. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    Requires [delay >= 0]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant.  Requires [time >= now t]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (not cancelled, not yet fired) events. *)
+
+val step : t -> bool
+(** Execute the next event.  [false] if the queue was empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [~until], stop before executing any event
+    scheduled strictly after [until] (the clock then reads the time of the
+    last executed event). *)
+
+val time_of_last_event : t -> float
+(** Timestamp of the most recently executed event (0 if none ran yet). *)
+
+val events_executed : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bgp_core Bgp_netsim Bgp_proto Bgp_topology Figure List Printf Scenarios Sweep

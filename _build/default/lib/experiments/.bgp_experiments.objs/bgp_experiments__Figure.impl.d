@@ -1,0 +1,1 @@
+lib/experiments/figure.ml: Array Buffer Float Fmt List Printf Stdlib String

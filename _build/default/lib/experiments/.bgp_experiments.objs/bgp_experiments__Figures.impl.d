@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Bgp_core Bgp_netsim Bgp_topology Figure List Printf Scenarios String Sweep

@@ -1,0 +1,1 @@
+lib/experiments/scenarios.ml: Bgp_core Bgp_netsim Bgp_proto Bgp_topology

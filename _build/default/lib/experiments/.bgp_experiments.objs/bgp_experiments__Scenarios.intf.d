@@ -1,0 +1,1 @@
+lib/experiments/scenarios.mli: Bgp_core Bgp_netsim Bgp_topology

@@ -1,0 +1,1 @@
+lib/experiments/shape.ml: Float List

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Bgp_engine Bgp_netsim Digest Figure Hashtbl List Marshal

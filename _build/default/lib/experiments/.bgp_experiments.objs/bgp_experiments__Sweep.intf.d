@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Bgp_netsim Figure

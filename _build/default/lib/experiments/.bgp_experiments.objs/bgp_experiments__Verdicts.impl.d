@@ -1,0 +1,1 @@
+lib/experiments/verdicts.ml: Figure Fmt List Printf Shape

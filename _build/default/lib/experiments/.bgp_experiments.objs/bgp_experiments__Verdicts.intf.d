@@ -1,0 +1,1 @@
+lib/experiments/verdicts.mli: Figure Format

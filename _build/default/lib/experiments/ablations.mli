@@ -1,0 +1,32 @@
+(** Ablation studies beyond the paper's figures: the design choices
+    DESIGN.md calls out, each regenerated as a small table.
+
+    - [detectors]: the three overload detectors of Section 4.3 (queue
+      work, CPU utilization, received-message count);
+    - [batching_decomposition]: stale-update elimination alone
+      (fifo-dedup) vs elimination + per-destination reordering (batched);
+    - [deshpande_sikdar]: the related-work MRAI bypasses of Section 2
+      (expected: lower delay for small failures, many more messages);
+    - [mrai_mode]: per-peer vs per-destination MRAI timers (Section 2);
+    - [withdrawal_pacing]: RFC-style unpaced withdrawals vs WRATE;
+    - [loop_check]: sender-side loop check on/off (message cost);
+    - [size_scaling]: 60 / 120 / 240 nodes (Section 4: "the same trends");
+    - [dynamic_restart]: Section 5 future work — applying a dynamic level
+      change to running timers immediately. *)
+
+val detectors : Scenarios.opts -> Figure.t
+val batching_decomposition : Scenarios.opts -> Figure.t
+val tcp_batching : Scenarios.opts -> Figure.t
+val deshpande_sikdar : Scenarios.opts -> Figure.t
+val deshpande_sikdar_messages : Scenarios.opts -> Figure.t
+val mrai_mode : Scenarios.opts -> Figure.t
+val prefix_scaling : Scenarios.opts -> Figure.t
+val policies : Scenarios.opts -> Figure.t
+val withdrawal_pacing : Scenarios.opts -> Figure.t
+val loop_check : Scenarios.opts -> Figure.t
+val damping : Scenarios.opts -> Figure.t
+val detection : Scenarios.opts -> Figure.t
+val size_scaling : Scenarios.opts -> Figure.t
+val dynamic_restart : Scenarios.opts -> Figure.t
+
+val all : (string * (Scenarios.opts -> Figure.t)) list

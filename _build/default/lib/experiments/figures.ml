@@ -1,0 +1,328 @@
+module Runner = Bgp_netsim.Runner
+module Mrai = Bgp_core.Mrai_controller
+module Iq = Bgp_core.Input_queue
+module Degree_dist = Bgp_topology.Degree_dist
+
+let delay r = r.Runner.convergence_delay
+let messages r = float_of_int r.Runner.messages
+
+(* The 70-30 topology's class boundary: low-degree nodes have degree 1-3. *)
+let degree_threshold = 3
+
+let series_over_sizes (opts : Scenarios.opts) ~label ~metric make_scenario =
+  {
+    Figure.label;
+    points =
+      List.map
+        (fun frac ->
+          Sweep.point (make_scenario frac) ~trials:opts.trials ~x:(frac *. 100.0) ~metric)
+        opts.sizes;
+  }
+
+let series_over_mrais (opts : Scenarios.opts) ~label ~metric make_scenario =
+  {
+    Figure.label;
+    points =
+      List.map
+        (fun mrai ->
+          Sweep.point (make_scenario mrai) ~trials:opts.trials ~x:mrai ~metric)
+        opts.mrais;
+  }
+
+let static_size_series opts ~metric mrai =
+  series_over_sizes opts
+    ~label:(Printf.sprintf "MRAI=%g" mrai)
+    ~metric
+    (fun frac -> Scenarios.flat opts ~scheme:(Static mrai) ~frac ())
+
+(* --- Figs 1-2: static MRAIs over failure size -------------------------- *)
+
+let fig01 opts =
+  {
+    Figure.id = "fig1";
+    title = "Convergence delay for different sized failures";
+    xlabel = "failure %";
+    ylabel = "convergence delay (s)";
+    series = List.map (static_size_series opts ~metric:delay) Scenarios.fig1_mrais;
+    paper_expectation =
+      "low MRAI is best for small failures but its delay rises sharply with \
+       failure size; higher MRAIs start higher but grow much more slowly";
+  }
+
+let fig02 opts =
+  {
+    Figure.id = "fig2";
+    title = "Number of generated messages for different MRAI values";
+    xlabel = "failure %";
+    ylabel = "update messages";
+    series = List.map (static_size_series opts ~metric:messages) Scenarios.fig1_mrais;
+    paper_expectation =
+      "message counts are similar for small failures; the MRAI=0.5 count \
+       shoots up with failure size while larger MRAIs grow gradually";
+  }
+
+(* --- Fig 3: V-curves ---------------------------------------------------- *)
+
+let fig03 opts =
+  let series frac =
+    series_over_mrais opts
+      ~label:(Printf.sprintf "%g%% failure" (frac *. 100.0))
+      ~metric:delay
+      (fun mrai -> Scenarios.flat opts ~scheme:(Static mrai) ~frac ())
+  in
+  {
+    Figure.id = "fig3";
+    title = "Variation in convergence delay with MRAI";
+    xlabel = "MRAI (s)";
+    ylabel = "convergence delay (s)";
+    series = List.map series [ 0.01; 0.05; 0.10 ];
+    paper_expectation =
+      "V-shaped curves; the optimal MRAI grows with failure size (~0.5 s for \
+       1%, ~1.25 s for 5%)";
+  }
+
+(* --- Figs 4-5: degree distributions ------------------------------------ *)
+
+let topo_mrai_series opts ~label ~spec ~frac =
+  series_over_mrais opts ~label ~metric:delay (fun mrai ->
+      Scenarios.flat ~spec opts ~scheme:(Static mrai) ~frac ())
+
+let fig04 opts =
+  {
+    Figure.id = "fig4";
+    title = "Convergence delay for different topologies (5% failure)";
+    xlabel = "MRAI (s)";
+    ylabel = "convergence delay (s)";
+    series =
+      [
+        topo_mrai_series opts ~label:"50-50" ~spec:Degree_dist.skewed_50_50 ~frac:0.05;
+        topo_mrai_series opts ~label:"70-30" ~spec:Degree_dist.skewed_70_30 ~frac:0.05;
+        topo_mrai_series opts ~label:"85-15" ~spec:Degree_dist.skewed_85_15 ~frac:0.05;
+      ];
+    paper_expectation =
+      "optimal MRAI grows with the degree of the high-degree nodes: ~1.0 s \
+       (50-50, high degree 5-6), ~1.25 s (70-30, high degree 8), ~2.25 s \
+       (85-15, high degree 14)";
+  }
+
+let fig05 opts =
+  {
+    Figure.id = "fig5";
+    title = "Effect of average degree on convergence delay (5% failure)";
+    xlabel = "MRAI (s)";
+    ylabel = "convergence delay (s)";
+    series =
+      [
+        topo_mrai_series opts ~label:"avg degree 3.8" ~spec:Degree_dist.skewed_50_50
+          ~frac:0.05;
+        topo_mrai_series opts ~label:"avg degree 7.6"
+          ~spec:Degree_dist.skewed_50_50_dense ~frac:0.05;
+      ];
+    paper_expectation =
+      "both the optimal MRAI and the minimum delay are larger for the denser \
+       topology (optimum ~2 s, like a high-degree-14 topology)";
+  }
+
+(* --- Fig 6: degree-dependent MRAI --------------------------------------- *)
+
+let fig06 opts =
+  let scheme_series label scheme =
+    series_over_sizes opts ~label ~metric:delay (fun frac ->
+        Scenarios.flat opts ~scheme ~frac ())
+  in
+  {
+    Figure.id = "fig6";
+    title = "Effect of degree dependent MRAI";
+    xlabel = "failure %";
+    ylabel = "convergence delay (s)";
+    series =
+      [
+        scheme_series "low 0.5, high 2.25"
+          (Degree_dependent { threshold = degree_threshold; low = 0.5; high = 2.25 });
+        scheme_series "low 2.25, high 0.5"
+          (Degree_dependent { threshold = degree_threshold; low = 2.25; high = 0.5 });
+        scheme_series "MRAI=0.5" (Static 0.5);
+        scheme_series "MRAI=2.25" (Static 2.25);
+      ];
+    paper_expectation =
+      "(low 0.5, high 2.25) tracks MRAI=2.25 for large failures but is much \
+       better for small ones; the reversed assignment behaves like MRAI=0.5 \
+       and is very bad for large failures";
+  }
+
+(* --- Figs 7-9: dynamic MRAI --------------------------------------------- *)
+
+let dynamic_scheme ~up ~down =
+  Mrai.Dynamic
+    {
+      levels = [| 0.5; 1.25; 2.25 |];
+      up_threshold = up;
+      down_threshold = down;
+      detector = Mrai.Queue_work;
+    }
+
+let fig07 opts =
+  let dynamic =
+    series_over_sizes opts ~label:"dynamic" ~metric:delay (fun frac ->
+        Scenarios.flat opts ~scheme:Scenarios.paper_dynamic ~frac ())
+  in
+  {
+    Figure.id = "fig7";
+    title = "Effect of dynamic MRAI";
+    xlabel = "failure %";
+    ylabel = "convergence delay (s)";
+    series = dynamic :: List.map (static_size_series opts ~metric:delay) Scenarios.fig1_mrais;
+    paper_expectation =
+      "the dynamic scheme stays close to the lower envelope: ~MRAI=0.5 for \
+       1-2.5%, ~MRAI=1.25 for 5%, and between 1.25 and 2.25 for 10-20%";
+  }
+
+let threshold_series opts ~label ~up ~down =
+  series_over_sizes opts ~label ~metric:delay (fun frac ->
+      Scenarios.flat opts ~scheme:(dynamic_scheme ~up ~down) ~frac ())
+
+let fig08 opts =
+  {
+    Figure.id = "fig8";
+    title = "Effect of upTh on convergence delay (downTh = 0)";
+    xlabel = "failure %";
+    ylabel = "convergence delay (s)";
+    series =
+      List.map
+        (fun up -> threshold_series opts ~label:(Printf.sprintf "upTh=%g" up) ~up ~down:0.0)
+        [ 0.2; 0.65; 1.25 ];
+    paper_expectation =
+      "a low upTh behaves like a constant high MRAI (worse for small \
+       failures, good for large); raising upTh improves small failures and \
+       hurts large ones; 0.65 and 1.25 are both reasonable";
+  }
+
+let fig09 opts =
+  {
+    Figure.id = "fig9";
+    title = "Effect of downTh on convergence delay (upTh = 0.65)";
+    xlabel = "failure %";
+    ylabel = "convergence delay (s)";
+    series =
+      List.map
+        (fun down ->
+          threshold_series opts ~label:(Printf.sprintf "downTh=%g" down) ~up:0.65 ~down)
+        [ 0.0; 0.05; 0.3 ];
+    paper_expectation =
+      "increasing downTh makes more nodes fall back to low MRAI, increasing \
+       the delay for larger failures; results are stable over a range";
+  }
+
+(* --- Figs 10-12: batching ----------------------------------------------- *)
+
+let fig10 opts =
+  let s label scheme discipline =
+    series_over_sizes opts ~label ~metric:delay (fun frac ->
+        Scenarios.flat opts ~scheme ~discipline ~frac ())
+  in
+  {
+    Figure.id = "fig10";
+    title = "Performance of batching scheme";
+    xlabel = "failure %";
+    ylabel = "convergence delay (s)";
+    series =
+      [
+        s "batching (MRAI=0.5)" (Static 0.5) Iq.Batched;
+        s "dynamic" Scenarios.paper_dynamic Iq.Fifo;
+        s "batching+dynamic" Scenarios.paper_dynamic Iq.Batched;
+        s "MRAI=0.5" (Static 0.5) Iq.Fifo;
+        s "MRAI=2.25" (Static 2.25) Iq.Fifo;
+      ];
+    paper_expectation =
+      "batching keeps delays low for small failures and cuts large-failure \
+       delays by a factor of 3+ vs MRAI=0.5; it beats the dynamic scheme, \
+       and combining both helps further";
+  }
+
+let fig11 opts =
+  let s label scheme discipline =
+    series_over_sizes opts ~label ~metric:messages (fun frac ->
+        Scenarios.flat opts ~scheme ~discipline ~frac ())
+  in
+  {
+    Figure.id = "fig11";
+    title = "Number of messages generated by the batching scheme";
+    xlabel = "failure %";
+    ylabel = "update messages";
+    series =
+      [
+        s "batching (MRAI=0.5)" (Static 0.5) Iq.Batched;
+        s "MRAI=0.5" (Static 0.5) Iq.Fifo;
+        s "MRAI=2.25" (Static 2.25) Iq.Fifo;
+      ];
+    paper_expectation =
+      "batching generates far fewer messages than plain MRAI=0.5, in the \
+       same range as MRAI=2.25";
+  }
+
+let fig12 opts =
+  let s label discipline =
+    series_over_mrais opts ~label ~metric:delay (fun mrai ->
+        Scenarios.flat opts ~scheme:(Static mrai) ~discipline ~frac:0.05 ())
+  in
+  {
+    Figure.id = "fig12";
+    title = "Effect of batching with different MRAIs (5% failure)";
+    xlabel = "MRAI (s)";
+    ylabel = "convergence delay (s)";
+    series = [ s "batching" Iq.Batched; s "no batching" Iq.Fifo ];
+    paper_expectation =
+      "batching helps a lot below the optimal MRAI (where overload exists) \
+       and has little effect at or above it";
+  }
+
+(* --- Fig 13: realistic topologies ---------------------------------------- *)
+
+let fig13 opts =
+  let s label scheme discipline =
+    series_over_sizes opts ~label ~metric:delay (fun frac ->
+        Scenarios.realistic opts ~scheme ~discipline ~frac ())
+  in
+  {
+    Figure.id = "fig13";
+    title = "Convergence delay of realistic topologies";
+    xlabel = "failure %";
+    ylabel = "convergence delay (s)";
+    series =
+      [
+        s "batching (MRAI=0.5)" (Static 0.5) Iq.Batched;
+        s "dynamic" Scenarios.realistic_dynamic Iq.Fifo;
+        s "batching+dynamic" Scenarios.realistic_dynamic Iq.Batched;
+        s "MRAI=0.5" (Static 0.5) Iq.Fifo;
+        s "MRAI=3.5" (Static 3.5) Iq.Fifo;
+      ];
+    paper_expectation =
+      "same qualitative behaviour as Fig 10 on multi-router-per-AS \
+       topologies with an Internet-like inter-AS degree distribution \
+       (optimal static MRAI 0.5 small / 3.5 large)";
+  }
+
+let all =
+  [
+    ("fig1", fig01);
+    ("fig2", fig02);
+    ("fig3", fig03);
+    ("fig4", fig04);
+    ("fig5", fig05);
+    ("fig6", fig06);
+    ("fig7", fig07);
+    ("fig8", fig08);
+    ("fig9", fig09);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+  ]
+
+let by_id id =
+  let normalize s =
+    let s = String.lowercase_ascii (String.trim s) in
+    let s = if String.length s > 3 && String.sub s 0 3 = "fig" then String.sub s 3 (String.length s - 3) else s in
+    match int_of_string_opt s with Some n -> Printf.sprintf "fig%d" n | None -> s
+  in
+  List.assoc_opt (normalize id) all

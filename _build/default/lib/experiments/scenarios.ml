@@ -1,0 +1,63 @@
+module Runner = Bgp_netsim.Runner
+module Network = Bgp_netsim.Network
+module Config = Bgp_proto.Config
+module Mrai = Bgp_core.Mrai_controller
+module Degree_dist = Bgp_topology.Degree_dist
+module As_topology = Bgp_topology.As_topology
+
+type opts = {
+  n : int;
+  trials : int;
+  seed : int;
+  sizes : float list;
+  mrais : float list;
+  realistic_ases : int;
+}
+
+let default =
+  {
+    n = 120;
+    trials = 3;
+    seed = 1;
+    sizes = [ 0.01; 0.025; 0.05; 0.10; 0.15; 0.20 ];
+    mrais = [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.75; 2.25; 3.0; 4.0 ];
+    realistic_ases = 120;
+  }
+
+let quick =
+  {
+    n = 120;
+    trials = 2;
+    seed = 1;
+    sizes = [ 0.01; 0.05; 0.10; 0.20 ];
+    mrais = [ 0.5; 1.25; 2.25; 4.0 ];
+    realistic_ases = 60;
+  }
+
+let fig1_mrais = [ 0.5; 1.25; 2.25 ]
+
+let net scheme discipline =
+  Network.config_default
+    Config.(default |> with_mrai scheme |> with_discipline discipline)
+
+let flat ?(spec = Degree_dist.skewed_70_30) opts ~scheme ?(discipline = Bgp_core.Input_queue.Fifo)
+    ~frac () =
+  Runner.scenario ~net:(net scheme discipline) ~failure:(Runner.Fraction frac)
+    ~seed:opts.seed
+    (Runner.Flat { spec; n = opts.n })
+
+let realistic opts ~scheme ?(discipline = Bgp_core.Input_queue.Fifo) ~frac () =
+  Runner.scenario ~net:(net scheme discipline) ~failure:(Runner.Fraction frac)
+    ~seed:opts.seed
+    (Runner.Realistic (As_topology.default ~n_ases:opts.realistic_ases))
+
+let paper_dynamic = Mrai.paper_dynamic ()
+
+let realistic_dynamic =
+  Mrai.Dynamic
+    {
+      levels = [| 0.5; 1.25; 3.5 |];
+      up_threshold = 0.65;
+      down_threshold = 0.05;
+      detector = Mrai.Queue_work;
+    }

@@ -1,0 +1,50 @@
+(** Shared experiment parameters: the paper's default topology, failure
+    sizes, MRAI grids, and scenario constructors. *)
+
+module Runner := Bgp_netsim.Runner
+
+type opts = {
+  n : int;  (** routers in flat topologies (paper: 120) *)
+  trials : int;  (** seeds averaged per point *)
+  seed : int;  (** base seed *)
+  sizes : float list;  (** failure fractions for size sweeps *)
+  mrais : float list;  (** MRAI grid for MRAI sweeps *)
+  realistic_ases : int;  (** AS count for Fig 13 *)
+}
+
+val default : opts
+(** 120 nodes, 3 trials, sizes 1/2.5/5/10/15/20%, MRAI grid
+    0.25..4 s, 120 ASes. *)
+
+val quick : opts
+(** Cut-down grids for smoke runs: 2 trials, sizes 1/5/10/20%,
+    MRAI grid 0.5/1.25/2.25/4, 60 ASes. *)
+
+val fig1_mrais : float list
+(** The three static MRAIs of Figs 1-2 and 7: 0.5, 1.25, 2.25 s. *)
+
+val flat :
+  ?spec:Bgp_topology.Degree_dist.spec ->
+  opts ->
+  scheme:Bgp_core.Mrai_controller.scheme ->
+  ?discipline:Bgp_core.Input_queue.discipline ->
+  frac:float ->
+  unit ->
+  Runner.scenario
+(** Scenario on a flat topology (default spec: 70-30). *)
+
+val realistic :
+  opts ->
+  scheme:Bgp_core.Mrai_controller.scheme ->
+  ?discipline:Bgp_core.Input_queue.discipline ->
+  frac:float ->
+  unit ->
+  Runner.scenario
+(** Fig 13's multi-router-per-AS scenario. *)
+
+val paper_dynamic : Bgp_core.Mrai_controller.scheme
+(** Levels 0.5/1.25/2.25, upTh 0.65, downTh 0.05 (Fig 7). *)
+
+val realistic_dynamic : Bgp_core.Mrai_controller.scheme
+(** Levels 0.5/1.25/3.5 for the realistic topologies (Section 4.4:
+    optimal 0.5 small, 3.5 large). *)

@@ -1,0 +1,44 @@
+let argmin = function
+  | [] -> invalid_arg "Shape.argmin: empty"
+  | (x0, y0) :: rest ->
+    fst (List.fold_left (fun (bx, by) (x, y) -> if y < by then (x, y) else (bx, by)) (x0, y0) rest)
+
+let value_at points x =
+  match List.find_opt (fun (px, _) -> Float.equal px x) points with
+  | Some (_, y) -> y
+  | None -> raise Not_found
+
+let last_y points =
+  match List.rev points with [] -> invalid_arg "Shape.last_y: empty" | (_, y) :: _ -> y
+
+let first_y = function [] -> invalid_arg "Shape.first_y: empty" | (_, y) :: _ -> y
+
+let is_v_shaped ?(tolerance = 1.3) points =
+  match points with
+  | [] | [ _ ] | [ _; _ ] -> false
+  | _ ->
+    let min_y = List.fold_left (fun acc (_, y) -> Float.min acc y) infinity points in
+    let x_min = argmin points in
+    let xs = List.map fst points in
+    let x_first = List.hd xs and x_last = List.hd (List.rev xs) in
+    x_min > x_first && x_min < x_last
+    && first_y points >= tolerance *. min_y
+    && last_y points >= tolerance *. min_y
+
+let increasing_in_x ?(tolerance = 1.2) points =
+  last_y points >= tolerance *. first_y points
+
+let common_xs a b =
+  List.filter_map
+    (fun (x, _) -> if List.exists (fun (x', _) -> Float.equal x x') b then Some x else None)
+    a
+
+let ratio_at_last a b =
+  match List.rev (common_xs a b) with
+  | [] -> invalid_arg "Shape.ratio_at_last: no common x"
+  | x :: _ -> value_at a x /. value_at b x
+
+let dominates ?(at_least = 1.0) a b =
+  match common_xs a b with
+  | [] -> false
+  | xs -> List.for_all (fun x -> value_at a x >= at_least *. value_at b x) xs

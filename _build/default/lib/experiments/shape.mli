@@ -1,0 +1,27 @@
+(** Qualitative "shape" predicates used to check regenerated figures
+    against what the paper reports (absolute numbers are not expected to
+    match; shapes are). *)
+
+val argmin : (float * float) list -> float
+(** x of the smallest y.  @raise Invalid_argument on empty input. *)
+
+val value_at : (float * float) list -> float -> float
+(** y at the given x.  @raise Not_found. *)
+
+val last_y : (float * float) list -> float
+val first_y : (float * float) list -> float
+
+val is_v_shaped : ?tolerance:float -> (float * float) list -> bool
+(** The minimum is strictly inside the x-range and both endpoints exceed
+    it by at least [tolerance] (default 1.3x). *)
+
+val increasing_in_x : ?tolerance:float -> (float * float) list -> bool
+(** Last y exceeds first y by at least [tolerance] (default 1.2x). *)
+
+val ratio_at_last : (float * float) list -> (float * float) list -> float
+(** [ratio_at_last a b] = y_a / y_b at the largest common x. *)
+
+val dominates :
+  ?at_least:float -> (float * float) list -> (float * float) list -> bool
+(** [dominates a b] iff y_a >= y_b at every common x (scaled by
+    [at_least], default 1.0).  "a is everywhere at least as slow as b". *)

@@ -1,0 +1,35 @@
+module Runner = Bgp_netsim.Runner
+module Stats = Bgp_engine.Stats
+
+let cache : (string, Runner.result list) Hashtbl.t = Hashtbl.create 64
+
+let key scenario trials =
+  Digest.string (Marshal.to_string (scenario, trials) [])
+
+let results scenario ~trials =
+  let k = key scenario trials in
+  match Hashtbl.find_opt cache k with
+  | Some r -> r
+  | None ->
+    let r =
+      List.init trials (fun i ->
+          Runner.run { scenario with Runner.seed = scenario.Runner.seed + i })
+    in
+    Hashtbl.replace cache k r;
+    r
+
+let summary metric results =
+  let stats = Stats.create () in
+  List.iter (fun r -> Stats.add stats (metric r)) results;
+  Stats.summarize stats
+
+let mean_of metric results = (summary metric results).Stats.mean
+let sd_of metric results = (summary metric results).Stats.stddev
+
+let point scenario ~trials ~x ~metric =
+  let r = results scenario ~trials in
+  let s = summary metric r in
+  { Figure.x; y = s.Stats.mean; sd = s.Stats.stddev }
+
+let clear_cache () = Hashtbl.reset cache
+let cache_size () = Hashtbl.length cache

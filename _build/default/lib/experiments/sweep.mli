@@ -1,0 +1,23 @@
+(** Cached scenario execution.
+
+    Several figures share the exact same underlying runs (e.g. Fig 1 and
+    Fig 2 are delay and message count over the same sweep); the cache keys
+    on the structural content of (scenario, trials) so shared points are
+    simulated once per process. *)
+
+val results : Bgp_netsim.Runner.scenario -> trials:int -> Bgp_netsim.Runner.result list
+(** Runs seeds [scenario.seed .. scenario.seed + trials - 1] (memoized). *)
+
+val mean_of : (Bgp_netsim.Runner.result -> float) -> Bgp_netsim.Runner.result list -> float
+
+val sd_of : (Bgp_netsim.Runner.result -> float) -> Bgp_netsim.Runner.result list -> float
+
+val point :
+  Bgp_netsim.Runner.scenario ->
+  trials:int ->
+  x:float ->
+  metric:(Bgp_netsim.Runner.result -> float) ->
+  Figure.point
+
+val clear_cache : unit -> unit
+val cache_size : unit -> int

@@ -1,0 +1,189 @@
+type verdict = { claim : string; holds : bool; detail : string }
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "[%s] %s (%s)" (if v.holds then "PASS" else "FAIL") v.claim v.detail
+
+let all_hold = List.for_all (fun v -> v.holds)
+
+let series fig label = Figure.series_points fig label
+
+(* y values at the smallest / largest x of a series. *)
+let at_min s = Shape.first_y s
+let at_max s = Shape.last_y s
+
+let v claim holds detail = { claim; holds; detail }
+
+let ratio_claim claim a b ~at ~cmp ~threshold =
+  let ya, yb = at a, at b in
+  let r = ya /. yb in
+  v claim (cmp r threshold) (Printf.sprintf "ratio %.2f vs threshold %.2f" r threshold)
+
+let check_fig1 fig =
+  let low = series fig "MRAI=0.5" and high = series fig "MRAI=2.25" in
+  [
+    ratio_claim "MRAI=0.5 is much worse than MRAI=2.25 for the largest failures" low high
+      ~at:at_max ~cmp:( >= ) ~threshold:2.0;
+    ratio_claim "MRAI=0.5 is no worse than MRAI=2.25 for the smallest failures" low high
+      ~at:at_min ~cmp:( <= ) ~threshold:1.0;
+    v "MRAI=0.5 delay rises sharply with failure size"
+      (Shape.increasing_in_x ~tolerance:3.0 low)
+      (Printf.sprintf "%.1f -> %.1f s" (at_min low) (at_max low));
+  ]
+
+let check_fig2 fig =
+  let low = series fig "MRAI=0.5" and high = series fig "MRAI=2.25" in
+  [
+    ratio_claim "MRAI=0.5 generates far more messages at large failures" low high
+      ~at:at_max ~cmp:( >= ) ~threshold:2.0;
+    ratio_claim "message counts are comparable at the smallest failures" low high
+      ~at:at_min ~cmp:( <= ) ~threshold:2.0;
+  ]
+
+let check_fig3 fig =
+  let s1 = series fig "1% failure"
+  and s5 = series fig "5% failure"
+  and s10 = series fig "10% failure" in
+  let o1 = Shape.argmin s1 and o5 = Shape.argmin s5 and o10 = Shape.argmin s10 in
+  [
+    v "the 5% curve is V-shaped" (Shape.is_v_shaped s5)
+      (Printf.sprintf "min at MRAI=%g" o5);
+    v "the 10% curve is V-shaped" (Shape.is_v_shaped s10)
+      (Printf.sprintf "min at MRAI=%g" o10);
+    v "the optimal MRAI grows with failure size"
+      (o1 <= o5 && o5 <= o10 && o1 < o10)
+      (Printf.sprintf "optima %g <= %g <= %g" o1 o5 o10);
+  ]
+
+let check_fig4 fig =
+  let a = Shape.argmin (series fig "50-50")
+  and b = Shape.argmin (series fig "70-30")
+  and c = Shape.argmin (series fig "85-15") in
+  [
+    v "the optimal MRAI grows with the degree of the high-degree nodes"
+      (a <= b && b <= c && a < c)
+      (Printf.sprintf "optima %g (50-50) <= %g (70-30) <= %g (85-15)" a b c);
+  ]
+
+let check_fig5 fig =
+  let sparse = series fig "avg degree 3.8" and dense = series fig "avg degree 7.6" in
+  let oa = Shape.argmin sparse and ob = Shape.argmin dense in
+  let ma = Shape.value_at sparse oa and mb = Shape.value_at dense ob in
+  [
+    v "the optimal MRAI is larger for the denser topology" (oa <= ob)
+      (Printf.sprintf "optima %g vs %g" oa ob);
+    v "the minimum delay is larger for the denser topology" (mb >= ma)
+      (Printf.sprintf "min delays %.1f vs %.1f s" ma mb);
+  ]
+
+let check_fig6 fig =
+  let good = series fig "low 0.5, high 2.25"
+  and bad = series fig "low 2.25, high 0.5"
+  and low = series fig "MRAI=0.5"
+  and high = series fig "MRAI=2.25" in
+  [
+    ratio_claim "(low .5, high 2.25) tracks MRAI=2.25 for large failures" good high
+      ~at:at_max ~cmp:( <= ) ~threshold:1.6;
+    ratio_claim "(low .5, high 2.25) beats MRAI=2.25 for small failures" good high
+      ~at:at_min ~cmp:( <= ) ~threshold:0.9;
+    ratio_claim "the reversed assignment is very bad for large failures" bad high
+      ~at:at_max ~cmp:( >= ) ~threshold:2.0;
+    ratio_claim "the reversed assignment behaves like MRAI=0.5 for large failures" bad low
+      ~at:at_max ~cmp:( >= ) ~threshold:0.5;
+  ]
+
+let check_fig7 fig =
+  let dynamic = series fig "dynamic"
+  and low = series fig "MRAI=0.5"
+  and mid = series fig "MRAI=1.25"
+  and high = series fig "MRAI=2.25" in
+  [
+    ratio_claim "dynamic is near the best static for small failures" dynamic low
+      ~at:at_min ~cmp:( <= ) ~threshold:1.5;
+    ratio_claim "dynamic is much better than MRAI=0.5 for large failures" dynamic low
+      ~at:at_max ~cmp:( <= ) ~threshold:0.5;
+    ratio_claim "dynamic stays below MRAI=1.25 for the largest failures" dynamic mid
+      ~at:at_max ~cmp:( <= ) ~threshold:1.1;
+    ratio_claim "dynamic is within ~2x of MRAI=2.25 for the largest failures" dynamic high
+      ~at:at_max ~cmp:( <= ) ~threshold:2.2;
+  ]
+
+let check_fig8 fig =
+  let tight = series fig "upTh=0.2" and loose = series fig "upTh=1.25" in
+  [
+    ratio_claim "a low upTh hurts small failures relative to a high upTh" tight loose
+      ~at:at_min ~cmp:( >= ) ~threshold:1.0;
+    ratio_claim "a low upTh is not worse for large failures" tight loose ~at:at_max
+      ~cmp:( <= ) ~threshold:1.3;
+  ]
+
+let check_fig9 fig =
+  let zero = series fig "downTh=0" and big = series fig "downTh=0.3" in
+  [
+    ratio_claim "a large downTh increases the delay for large failures" big zero
+      ~at:at_max ~cmp:( >= ) ~threshold:1.0;
+  ]
+
+let check_fig10 fig =
+  let batch = series fig "batching (MRAI=0.5)"
+  and dynamic = series fig "dynamic"
+  and low = series fig "MRAI=0.5" in
+  [
+    ratio_claim "batching cuts the large-failure delay by a factor of 3+" batch low
+      ~at:at_max ~cmp:( <= ) ~threshold:(1.0 /. 3.0);
+    ratio_claim "batching stays cheap for small failures" batch low ~at:at_min
+      ~cmp:( <= ) ~threshold:2.0;
+    ratio_claim "batching beats the dynamic scheme for large failures" batch dynamic
+      ~at:at_max ~cmp:( <= ) ~threshold:1.0;
+  ]
+
+let check_fig11 fig =
+  let batch = series fig "batching (MRAI=0.5)"
+  and low = series fig "MRAI=0.5"
+  and high = series fig "MRAI=2.25" in
+  [
+    ratio_claim "batching generates far fewer messages than plain MRAI=0.5" batch low
+      ~at:at_max ~cmp:( <= ) ~threshold:0.5;
+    ratio_claim "batching's message count is in the MRAI=2.25 range" batch high
+      ~at:at_max ~cmp:( <= ) ~threshold:2.5;
+  ]
+
+let check_fig12 fig =
+  let batch = series fig "batching" and plain = series fig "no batching" in
+  let largest_x = fst (List.hd (List.rev plain)) in
+  let r_low = Shape.first_y plain /. Shape.first_y batch in
+  let r_high = Shape.value_at plain largest_x /. Shape.value_at batch largest_x in
+  [
+    v "batching helps a lot below the optimal MRAI" (r_low >= 1.5)
+      (Printf.sprintf "%.2fx at the smallest MRAI" r_low);
+    v "batching has little effect at/above the optimal MRAI"
+      (r_high >= 0.7 && r_high <= 1.4)
+      (Printf.sprintf "%.2fx at the largest MRAI" r_high);
+  ]
+
+let check_fig13 fig =
+  let batch = series fig "batching (MRAI=0.5)"
+  and dynamic = series fig "dynamic"
+  and low = series fig "MRAI=0.5" in
+  [
+    ratio_claim "batching cuts the large-failure delay substantially" batch low
+      ~at:at_max ~cmp:( <= ) ~threshold:0.5;
+    ratio_claim "the dynamic scheme also beats plain MRAI=0.5 at large failures" dynamic
+      low ~at:at_max ~cmp:( <= ) ~threshold:0.8;
+  ]
+
+let check fig =
+  match fig.Figure.id with
+  | "fig1" -> check_fig1 fig
+  | "fig2" -> check_fig2 fig
+  | "fig3" -> check_fig3 fig
+  | "fig4" -> check_fig4 fig
+  | "fig5" -> check_fig5 fig
+  | "fig6" -> check_fig6 fig
+  | "fig7" -> check_fig7 fig
+  | "fig8" -> check_fig8 fig
+  | "fig9" -> check_fig9 fig
+  | "fig10" -> check_fig10 fig
+  | "fig11" -> check_fig11 fig
+  | "fig12" -> check_fig12 fig
+  | "fig13" -> check_fig13 fig
+  | _ -> []

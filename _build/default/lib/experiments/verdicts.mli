@@ -1,0 +1,16 @@
+(** Paper-vs-measured shape verdicts.
+
+    For each regenerated figure this module evaluates the qualitative
+    claims the paper makes about it (who wins, rough factors, where optima
+    sit).  Thresholds are deliberately tolerant: the substrate is our own
+    simulator, not the authors' SSFNet testbed, so only shapes are
+    checked. *)
+
+type verdict = { claim : string; holds : bool; detail : string }
+
+val check : Figure.t -> verdict list
+(** Claims for the given figure (dispatched on [Figure.id]); empty for
+    unknown ids. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val all_hold : verdict list -> bool

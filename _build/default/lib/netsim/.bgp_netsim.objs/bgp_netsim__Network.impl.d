@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Bgp_engine Bgp_proto Bgp_topology Float Int List Relationships Stdlib Trace

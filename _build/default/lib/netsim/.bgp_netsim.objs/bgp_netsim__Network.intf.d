@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Bgp_engine Bgp_proto Bgp_topology Relationships Trace

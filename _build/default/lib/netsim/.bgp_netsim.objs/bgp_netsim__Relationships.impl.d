@@ -1,0 +1,1 @@
+lib/netsim/relationships.ml: Array Bgp_proto Bgp_topology Hashtbl List Option

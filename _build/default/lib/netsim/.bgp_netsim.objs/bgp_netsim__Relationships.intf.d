@@ -1,0 +1,1 @@
+lib/netsim/relationships.mli: Bgp_proto Bgp_topology

@@ -1,0 +1,1 @@
+lib/netsim/runner.ml: Bgp_engine Bgp_proto Bgp_topology Float Network Relationships Validate Warmup

@@ -1,0 +1,1 @@
+lib/netsim/runner.mli: Bgp_engine Bgp_topology Network Validate

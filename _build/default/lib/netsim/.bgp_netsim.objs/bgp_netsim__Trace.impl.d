@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Bgp_proto Fmt Hashtbl Int List Option Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/trace.mli: Bgp_proto Format

@@ -1,0 +1,1 @@
+lib/netsim/validate.ml: Array Bgp_proto Bgp_topology Buffer Fmt Format List Network Printf Queue Relationships

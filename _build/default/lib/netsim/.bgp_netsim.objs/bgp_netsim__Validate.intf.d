@@ -1,0 +1,1 @@
+lib/netsim/validate.mli: Bgp_topology Format Network

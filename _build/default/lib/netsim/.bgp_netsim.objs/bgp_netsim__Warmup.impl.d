@@ -1,0 +1,1 @@
+lib/netsim/warmup.ml: Array Bgp_engine Bgp_proto Bgp_topology List Network Option

@@ -1,0 +1,1 @@
+lib/netsim/warmup.mli: Bgp_proto Network

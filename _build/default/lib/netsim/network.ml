@@ -1,0 +1,265 @@
+module Sched = Bgp_engine.Scheduler
+module Rng = Bgp_engine.Rng
+module Topology = Bgp_topology.Topology
+module Graph = Bgp_topology.Graph
+module Failure = Bgp_topology.Failure
+module Router = Bgp_proto.Router
+module Types = Bgp_proto.Types
+
+type detection = Link_signal | Hold_timer of Bgp_proto.Session.config
+
+type config = {
+  bgp : Bgp_proto.Config.t;
+  link_delay : float;
+  detection_delay : float;
+  detection : detection;
+  relationships : Relationships.t option;
+  trace : Trace.t option;
+}
+
+let config_default bgp =
+  {
+    bgp;
+    link_delay = 0.025;
+    detection_delay = 0.025;
+    detection = Link_signal;
+    relationships = None;
+    trace = None;
+  }
+
+type t = {
+  topo : Topology.t;
+  config : config;
+  sched : Sched.t;
+  routers : Router.t array;
+  detect_rng : Rng.t;  (* hold-timer detection sampling *)
+  failed : bool array;
+  sessions : (int * int * Types.session_kind) list;
+  session_peers : int list array;  (* BGP session neighbours of each router *)
+  mutable n_adverts : int;
+  mutable n_withdrawals : int;
+  mutable last_activity : float;
+}
+
+let compute_sessions topo =
+  let acc = ref [] in
+  (* eBGP: one session per inter-AS physical link. *)
+  Graph.fold_edges
+    (fun u v () ->
+      if Topology.is_ebgp topo u v then acc := (u, v, Types.Ebgp) :: !acc)
+    topo.Topology.graph ();
+  (* iBGP: full mesh inside each AS. *)
+  for a = 0 to topo.Topology.n_ases - 1 do
+    let members = Topology.routers_of_as topo a in
+    let rec mesh = function
+      | [] -> ()
+      | u :: rest ->
+        List.iter (fun v -> acc := (u, v, Types.Ibgp) :: !acc) rest;
+        mesh rest
+    in
+    mesh members
+  done;
+  List.rev !acc
+
+let build ~sched ~rng ~config topo =
+  let n = Topology.num_routers topo in
+  let sessions = compute_sessions topo in
+  let session_peers = Array.make n [] in
+  List.iter
+    (fun (u, v, _) ->
+      session_peers.(u) <- v :: session_peers.(u);
+      session_peers.(v) <- u :: session_peers.(v))
+    sessions;
+  Array.iteri (fun i l -> session_peers.(i) <- List.sort Int.compare l) session_peers;
+  let net =
+    {
+      topo;
+      config;
+      sched;
+      routers = [||];
+      detect_rng = Rng.split rng;
+      failed = Array.make n false;
+      sessions;
+      session_peers;
+      n_adverts = 0;
+      n_withdrawals = 0;
+      last_activity = 0.0;
+    }
+  in
+  let net = ref net in
+  (* Build routers with their own RNG streams (stable under changes to
+     other routers' draw counts). *)
+  let routers =
+    Array.init n (fun i ->
+        let router_rng = Rng.split rng in
+        let cb =
+          {
+            Router.send =
+              (fun ~src ~dst update ->
+                let nref = !net in
+                (match update with
+                | Types.Advertise _ -> nref.n_adverts <- nref.n_adverts + 1
+                | Types.Withdraw _ -> nref.n_withdrawals <- nref.n_withdrawals + 1);
+                (match nref.config.trace with
+                | Some trace ->
+                  Trace.record trace
+                    (Trace.Update_sent { time = Sched.now sched; src; dst; update })
+                | None -> ());
+                ignore
+                  (Sched.schedule sched ~delay:nref.config.link_delay (fun () ->
+                       if not nref.failed.(dst) then begin
+                         (match nref.config.trace with
+                         | Some trace ->
+                           Trace.record trace
+                             (Trace.Update_delivered
+                                { time = Sched.now sched; src; dst; update })
+                         | None -> ());
+                         Router.receive nref.routers.(dst) ~src update
+                       end)));
+            activity =
+              (fun ~time ->
+                let nref = !net in
+                if time > nref.last_activity then nref.last_activity <- time);
+          }
+        in
+        Router.create ~sched ~rng:router_rng ~config:config.bgp ~id:i
+          ~asn:topo.Topology.as_of_router.(i)
+          ~degree:(Topology.inter_as_degree topo i)
+          cb)
+  in
+  net := { !net with routers };
+  List.iter
+    (fun (u, v, kind) ->
+      let rel_of a b =
+        match config.relationships with
+        | None -> None
+        | Some rels -> Relationships.relation rels ~from:a ~toward:b
+      in
+      Router.add_peer routers.(u) ~peer:v ~peer_as:topo.Topology.as_of_router.(v) ~kind
+        ?relationship:(rel_of u v) ();
+      Router.add_peer routers.(v) ~peer:u ~peer_as:topo.Topology.as_of_router.(u) ~kind
+        ?relationship:(rel_of v u) ())
+    sessions;
+  !net
+
+let topology t = t.topo
+let bgp_config t = t.config.bgp
+let relationships t = t.config.relationships
+let router t i = t.routers.(i)
+let num_routers t = Array.length t.routers
+let sessions t = t.sessions
+
+let start_all t = Array.iter Router.start t.routers
+
+let inject_failure t failure =
+  let n = num_routers t in
+  for r = 0 to n - 1 do
+    if Failure.is_failed failure r && not t.failed.(r) then begin
+      t.failed.(r) <- true;
+      (match t.config.trace with
+      | Some trace ->
+        Trace.record trace (Trace.Router_failed { time = Sched.now t.sched; router = r })
+      | None -> ());
+      Router.fail t.routers.(r)
+    end
+  done;
+  (* Surviving session peers notice the drop: via the link layer after a
+     fixed delay, or when the BGP hold timer expires (sampled from the
+     session timing model: jittered hold time minus the time already
+     elapsed since the last keepalive). *)
+  let detection_sample () =
+    match t.config.detection with
+    | Link_signal -> t.config.detection_delay
+    | Hold_timer session ->
+      let hold =
+        if session.Bgp_proto.Session.jitter then
+          session.Bgp_proto.Session.hold_time *. Rng.uniform t.detect_rng ~lo:0.75 ~hi:1.0
+        else session.Bgp_proto.Session.hold_time
+      in
+      let keepalive = session.Bgp_proto.Session.keepalive_fraction *. hold in
+      let since_last_keepalive = Rng.uniform t.detect_rng ~lo:0.0 ~hi:keepalive in
+      Float.max 0.001 (hold -. since_last_keepalive)
+  in
+  for r = 0 to n - 1 do
+    if Failure.is_failed failure r then
+      List.iter
+        (fun peer ->
+          if not t.failed.(peer) then
+            ignore
+              (Sched.schedule t.sched ~delay:(detection_sample ()) (fun () ->
+                   if not t.failed.(peer) then begin
+                     (match t.config.trace with
+                     | Some trace ->
+                       Trace.record trace
+                         (Trace.Session_down
+                            { time = Sched.now t.sched; router = peer; peer = r })
+                     | None -> ());
+                     Router.peer_down t.routers.(peer) r
+                   end)))
+        t.session_peers.(r)
+  done
+
+let inject_link_failures t links =
+  List.iter
+    (fun (u, v) ->
+      let notify a b =
+        if not t.failed.(a) then
+          ignore
+            (Sched.schedule t.sched ~delay:t.config.detection_delay (fun () ->
+                 if not t.failed.(a) then begin
+                   (match t.config.trace with
+                   | Some trace ->
+                     Trace.record trace
+                       (Trace.Session_down
+                          { time = Sched.now t.sched; router = a; peer = b })
+                   | None -> ());
+                   Router.peer_down t.routers.(a) b
+                 end))
+      in
+      notify u v;
+      notify v u)
+    links
+
+let is_failed t r = t.failed.(r)
+let messages_sent t = t.n_adverts + t.n_withdrawals
+let adverts_sent t = t.n_adverts
+let withdrawals_sent t = t.n_withdrawals
+let last_activity t = t.last_activity
+
+let overloaded_routers t ~threshold =
+  let acc = ref [] in
+  for r = Array.length t.routers - 1 downto 0 do
+    if (not t.failed.(r)) && Router.max_unfinished_work t.routers.(r) > threshold then
+      acc := r :: !acc
+  done;
+  !acc
+
+let sum_metrics t =
+  let zero =
+    {
+      Router.adverts_sent = 0;
+      withdrawals_sent = 0;
+      msgs_processed = 0;
+      eliminated = 0;
+      max_queue = 0;
+      mrai_transitions = 0;
+      mrai_level = 0;
+      damping_suppressions = 0;
+    }
+  in
+  Array.fold_left
+    (fun (acc : Router.metrics) router ->
+      if Router.is_failed router then acc
+      else
+        let m = Router.metrics router in
+        {
+          Router.adverts_sent = acc.adverts_sent + m.adverts_sent;
+          withdrawals_sent = acc.withdrawals_sent + m.withdrawals_sent;
+          msgs_processed = acc.msgs_processed + m.msgs_processed;
+          eliminated = acc.eliminated + m.eliminated;
+          max_queue = Stdlib.max acc.max_queue m.max_queue;
+          mrai_transitions = acc.mrai_transitions + m.mrai_transitions;
+          mrai_level = Stdlib.max acc.mrai_level m.mrai_level;
+          damping_suppressions = acc.damping_suppressions + m.damping_suppressions;
+        })
+    zero t.routers

@@ -1,0 +1,85 @@
+(** Assembles a BGP network over a topology and carries messages.
+
+    Sessions: every inter-AS link is an eBGP session; routers inside one
+    AS form a full iBGP mesh (intra-AS physical links matter only for
+    geography).  All messages take [link_delay] one way (paper: 25 ms,
+    covering transmission + propagation + reception). *)
+
+(** How a surviving router learns its neighbour died. *)
+type detection =
+  | Link_signal
+      (** the link layer reports the loss after [detection_delay] (what
+          the paper's experiments model) *)
+  | Hold_timer of Bgp_proto.Session.config
+      (** no link signal: the BGP session's hold timer must expire.  The
+          delay is sampled from the session timing model — jittered hold
+          time minus the time since the last keepalive — instead of
+          simulating every keepalive message (see {!Bgp_proto.Session}). *)
+
+type config = {
+  bgp : Bgp_proto.Config.t;
+  link_delay : float;  (** seconds; paper uses 0.025 *)
+  detection_delay : float;
+      (** [Link_signal] latency; defaults to [link_delay] *)
+  detection : detection;
+  relationships : Relationships.t option;
+      (** Gao-Rexford policies on eBGP sessions; [None] (default) is the
+          paper's policy-free operation *)
+  trace : Trace.t option;  (** record message/failure events when set *)
+}
+
+val config_default : Bgp_proto.Config.t -> config
+(** [Link_signal] detection, 25 ms links, no policies. *)
+
+type t
+
+val build :
+  sched:Bgp_engine.Scheduler.t ->
+  rng:Bgp_engine.Rng.t ->
+  config:config ->
+  Bgp_topology.Topology.t ->
+  t
+
+val topology : t -> Bgp_topology.Topology.t
+val bgp_config : t -> Bgp_proto.Config.t
+val relationships : t -> Relationships.t option
+val router : t -> int -> Bgp_proto.Router.t
+val num_routers : t -> int
+val sessions : t -> (int * int * Bgp_proto.Types.session_kind) list
+(** Each session once, [(u, v, kind)] with [u < v]. *)
+
+val start_all : t -> unit
+(** Originate every router's prefix at the current simulated time. *)
+
+val inject_failure : t -> Bgp_topology.Failure.t -> unit
+(** Immediately kill the failed routers and schedule session-down
+    notifications to their surviving session peers after
+    [detection_delay]. *)
+
+val inject_link_failures : t -> (int * int) list -> unit
+(** Fail individual links (sessions): both endpoints observe the session
+    drop after the detection delay; the routers stay up.  The paper
+    argues link-only failures are unlikely at large scale (Section 3.2)
+    but they are the classic single-event experiments (Labovitz Tdown). *)
+
+val is_failed : t -> int -> bool
+
+(** {2 Aggregate counters} *)
+
+val messages_sent : t -> int
+(** Update messages handed to the network (adverts + withdrawals). *)
+
+val adverts_sent : t -> int
+val withdrawals_sent : t -> int
+
+val last_activity : t -> float
+(** Simulated time of the last route-affecting action anywhere. *)
+
+val sum_metrics : t -> Bgp_proto.Router.metrics
+(** Component-wise sum over surviving routers (max for [max_queue] and
+    [mrai_level]). *)
+
+val overloaded_routers : t -> threshold:float -> int list
+(** Routers whose unfinished work ever exceeded [threshold] seconds —
+    the paper's Section 4.1 explanation of the V-curve is that these are
+    predominantly the high-degree nodes. *)

@@ -1,0 +1,73 @@
+module Types = Bgp_proto.Types
+module Topology = Bgp_topology.Topology
+module Graph = Bgp_topology.Graph
+
+type t = {
+  (* (a, b) -> what AS b is to AS a *)
+  table : (int * int, Types.relationship) Hashtbl.t;
+  as_of_router : int array;
+}
+
+let as_adjacency topo =
+  let adj = Hashtbl.create 256 in
+  Graph.fold_edges
+    (fun u v () ->
+      let a = topo.Topology.as_of_router.(u) and b = topo.Topology.as_of_router.(v) in
+      if a <> b then begin
+        let add x y =
+          let current = Option.value ~default:[] (Hashtbl.find_opt adj x) in
+          if not (List.mem y current) then Hashtbl.replace adj x (y :: current)
+        in
+        add a b;
+        add b a
+      end)
+    topo.Topology.graph ();
+  adj
+
+let infer ?(provider_ratio = 2.0) topo =
+  let adj = as_adjacency topo in
+  let degree a = List.length (Option.value ~default:[] (Hashtbl.find_opt adj a)) in
+  let table = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun a neighbours ->
+      List.iter
+        (fun b ->
+          if a < b then begin
+            let da = float_of_int (degree a) and db = float_of_int (degree b) in
+            if da >= provider_ratio *. db then begin
+              (* a provides transit to b *)
+              Hashtbl.replace table (b, a) Types.Provider;
+              Hashtbl.replace table (a, b) Types.Customer
+            end
+            else if db >= provider_ratio *. da then begin
+              Hashtbl.replace table (a, b) Types.Provider;
+              Hashtbl.replace table (b, a) Types.Customer
+            end
+            else begin
+              Hashtbl.replace table (a, b) Types.Peer_link;
+              Hashtbl.replace table (b, a) Types.Peer_link
+            end
+          end)
+        neighbours)
+    adj;
+  { table; as_of_router = topo.Topology.as_of_router }
+
+let relation t ~from ~toward =
+  let a = t.as_of_router.(from) and b = t.as_of_router.(toward) in
+  if a = b then None else Hashtbl.find_opt t.table (a, b)
+
+(* Walk the AS path from the selecting router outward; each hop is
+   labelled by what the next AS is to the current one.  Valley-free =
+   Provider* Peer_link? Customer*. *)
+let valley_free t ~self path =
+  let rec walk current ~seen_flat_or_down = function
+    | [] -> true
+    | next :: rest -> (
+      match Hashtbl.find_opt t.table (current, next) with
+      | None -> false (* not adjacent at AS level: not a valid path at all *)
+      | Some Types.Provider -> (not seen_flat_or_down) && walk next ~seen_flat_or_down rest
+      | Some Types.Peer_link ->
+        (not seen_flat_or_down) && walk next ~seen_flat_or_down:true rest
+      | Some Types.Customer -> walk next ~seen_flat_or_down:true rest)
+  in
+  walk t.as_of_router.(self) ~seen_flat_or_down:false path

@@ -1,0 +1,140 @@
+module Sched = Bgp_engine.Scheduler
+module Rng = Bgp_engine.Rng
+module Stats = Bgp_engine.Stats
+module Topology = Bgp_topology.Topology
+module As_topology = Bgp_topology.As_topology
+module Degree_dist = Bgp_topology.Degree_dist
+module Failure = Bgp_topology.Failure
+
+type topo_spec =
+  | Flat of { spec : Degree_dist.spec; n : int }
+  | Realistic of As_topology.config
+  | Fixed of Topology.t
+
+type failure_spec =
+  | Fraction of float
+  | Routers of int list
+  | Links of (int * int) list
+  | No_failure
+
+type warmup_mode = Simulated | Analytic
+
+type scenario = {
+  topo : topo_spec;
+  net : Network.config;
+  failure : failure_spec;
+  seed : int;
+  sim_time_cap : float;
+  validate : bool;
+  warmup : warmup_mode;
+  policies : bool;
+}
+
+let scenario ?(net = Network.config_default Bgp_proto.Config.default)
+    ?(failure = No_failure) ?(seed = 1) ?(sim_time_cap = 36000.0) ?(validate = false)
+    ?(warmup = Simulated) ?(policies = false) topo =
+  { topo; net; failure; seed; sim_time_cap; validate; warmup; policies }
+
+type result = {
+  converged : bool;
+  warmup_delay : float;
+  convergence_delay : float;
+  messages : int;
+  adverts : int;
+  withdrawals : int;
+  warmup_messages : int;
+  eliminated : int;
+  max_queue : int;
+  mrai_transitions : int;
+  events : int;
+  survivors_connected : bool;
+  issues : Validate.issue list;
+}
+
+let make_topology rng = function
+  | Flat { spec; n } -> Topology.flat rng ~spec ~n
+  | Realistic config -> As_topology.generate rng config
+  | Fixed topo -> topo
+
+let make_failure topo = function
+  | Fraction f -> Failure.contiguous topo ~fraction:f
+  | Routers l -> Failure.of_list topo l
+  | Links _ | No_failure -> Failure.none topo
+
+let run s =
+  let root = Rng.create s.seed in
+  let rng_topo = Rng.split root in
+  let rng_net = Rng.split root in
+  let topo = make_topology rng_topo s.topo in
+  (match Topology.validate topo with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.run: bad topology: " ^ msg));
+  let sched = Sched.create () in
+  let net_config =
+    if s.policies then
+      { s.net with Network.relationships = Some (Relationships.infer topo) }
+    else s.net
+  in
+  let net = Network.build ~sched ~rng:rng_net ~config:net_config topo in
+  (* Phase 1: reach steady state — by cold-start simulation (as in the
+     paper) or by direct analytic construction. *)
+  (match s.warmup with
+  | Simulated ->
+    Network.start_all net;
+    Sched.run ~until:s.sim_time_cap sched
+  | Analytic ->
+    if s.policies then
+      invalid_arg "Runner.run: analytic warm-up is policy-free only";
+    Warmup.install net);
+  let warmup_converged = Sched.pending sched = 0 in
+  let warmup_delay = Network.last_activity net in
+  let warmup_messages = Network.messages_sent net in
+  let warmup_adverts = Network.adverts_sent net in
+  let warmup_withdrawals = Network.withdrawals_sent net in
+  (if s.validate && warmup_converged then
+     Validate.check_exn net ~failure:(Failure.none topo));
+  (* Phase 2: failure and re-convergence. *)
+  let failure = make_failure topo s.failure in
+  let t_fail = Sched.now sched +. 1.0 in
+  ignore
+    (Sched.schedule_at sched ~time:t_fail (fun () ->
+         Network.inject_failure net failure;
+         match s.failure with
+         | Links links -> Network.inject_link_failures net links
+         | Fraction _ | Routers _ | No_failure -> ()));
+  Sched.run ~until:(t_fail +. s.sim_time_cap) sched;
+  let converged = warmup_converged && Sched.pending sched = 0 in
+  let last = Network.last_activity net in
+  let convergence_delay = Float.max 0.0 (last -. t_fail) in
+  let issues =
+    (* Link failures change the graph underneath the survivor-BFS checks;
+       only the router-failure invariants are validated. *)
+    match s.failure with
+    | Links _ -> []
+    | Fraction _ | Routers _ | No_failure ->
+      if s.validate && converged then Validate.check net ~failure else []
+  in
+  let metrics = Network.sum_metrics net in
+  {
+    converged;
+    warmup_delay;
+    convergence_delay;
+    messages = Network.messages_sent net - warmup_messages;
+    adverts = Network.adverts_sent net - warmup_adverts;
+    withdrawals = Network.withdrawals_sent net - warmup_withdrawals;
+    warmup_messages;
+    eliminated = metrics.Bgp_proto.Router.eliminated;
+    max_queue = metrics.Bgp_proto.Router.max_queue;
+    mrai_transitions = metrics.Bgp_proto.Router.mrai_transitions;
+    events = Sched.events_executed sched;
+    survivors_connected = Failure.survivors_connected topo failure;
+    issues;
+  }
+
+let run_mean s ~trials ~metric =
+  let stats = Stats.create () in
+  for i = 0 to trials - 1 do
+    let result = run { s with seed = s.seed + i } in
+    Stats.add stats (metric result)
+  done;
+  Stats.summarize stats

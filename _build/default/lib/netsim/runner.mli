@@ -1,0 +1,73 @@
+(** One complete experiment run: generate a topology, warm the network up
+    to steady state, inject a failure, and measure re-convergence — the
+    paper's basic experimental unit. *)
+
+type topo_spec =
+  | Flat of { spec : Bgp_topology.Degree_dist.spec; n : int }
+      (** one router per AS, Section 3.1's simple topologies *)
+  | Realistic of Bgp_topology.As_topology.config  (** Fig 13 *)
+  | Fixed of Bgp_topology.Topology.t  (** caller-supplied (tests) *)
+
+type failure_spec =
+  | Fraction of float  (** contiguous around the grid centre (paper) *)
+  | Routers of int list  (** explicit set *)
+  | Links of (int * int) list
+      (** sessions drop, routers stay up (classic Tdown experiments) *)
+  | No_failure
+
+type warmup_mode =
+  | Simulated  (** cold-start convergence simulation (like the paper) *)
+  | Analytic
+      (** install the steady state directly ({!Warmup.install}); roughly
+          halves a run's cost and is bit-equivalent in routing state *)
+
+type scenario = {
+  topo : topo_spec;
+  net : Network.config;
+  failure : failure_spec;
+  seed : int;
+  sim_time_cap : float;
+      (** safety net per phase; a run that hits it is flagged unconverged *)
+  validate : bool;  (** run {!Validate.check_exn} after each phase *)
+  warmup : warmup_mode;
+  policies : bool;
+      (** infer Gao-Rexford relationships for the generated topology and
+          run with valley-free policies (forces a simulated warm-up) *)
+}
+
+val scenario :
+  ?net:Network.config ->
+  ?failure:failure_spec ->
+  ?seed:int ->
+  ?sim_time_cap:float ->
+  ?validate:bool ->
+  ?warmup:warmup_mode ->
+  ?policies:bool ->
+  topo_spec ->
+  scenario
+(** Defaults: paper BGP config ({!Bgp_proto.Config.default}), no failure,
+    seed 1, cap 36000 s, validation off, simulated warm-up, no policies. *)
+
+type result = {
+  converged : bool;
+  warmup_delay : float;  (** time to initial convergence *)
+  convergence_delay : float;
+      (** last route-affecting activity minus failure time (the paper's
+          metric); 0 when nothing happened *)
+  messages : int;  (** update messages generated after the failure *)
+  adverts : int;  (** advertisements generated after the failure *)
+  withdrawals : int;
+  warmup_messages : int;
+  eliminated : int;  (** stale updates removed by the batching queue *)
+  max_queue : int;  (** deepest input queue seen at any router *)
+  mrai_transitions : int;  (** dynamic-scheme level changes *)
+  events : int;  (** simulator events executed (cost indicator) *)
+  survivors_connected : bool;
+  issues : Validate.issue list;  (** non-empty only when [validate] *)
+}
+
+val run : scenario -> result
+
+val run_mean :
+  scenario -> trials:int -> metric:(result -> float) -> Bgp_engine.Stats.summary
+(** Run [trials] seeds ([seed], [seed+1], ...) and summarize a metric. *)

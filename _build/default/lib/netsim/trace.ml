@@ -1,0 +1,80 @@
+module Types = Bgp_proto.Types
+
+type event =
+  | Update_sent of { time : float; src : int; dst : int; update : Types.update }
+  | Update_delivered of { time : float; src : int; dst : int; update : Types.update }
+  | Router_failed of { time : float; router : int }
+  | Session_down of { time : float; router : int; peer : int }
+
+let time_of = function
+  | Update_sent { time; _ }
+  | Update_delivered { time; _ }
+  | Router_failed { time; _ }
+  | Session_down { time; _ } ->
+    time
+
+let pp_event ppf = function
+  | Update_sent { time; src; dst; update } ->
+    Fmt.pf ppf "%10.4f  %3d -> %3d  send %a" time src dst Types.pp_update update
+  | Update_delivered { time; src; dst; update } ->
+    Fmt.pf ppf "%10.4f  %3d -> %3d  recv %a" time src dst Types.pp_update update
+  | Router_failed { time; router } -> Fmt.pf ppf "%10.4f  router %d FAILED" time router
+  | Session_down { time; router; peer } ->
+    Fmt.pf ppf "%10.4f  router %d: session to %d down" time router peer
+
+type t = {
+  capacity : int;
+  mutable data : event array;
+  mutable next : int;  (* next write position *)
+  mutable size : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; data = [||]; next = 0; size = 0; dropped = 0 }
+
+let record t event =
+  if Array.length t.data = 0 then t.data <- Array.make t.capacity event;
+  if t.size = t.capacity then t.dropped <- t.dropped + 1 else t.size <- t.size + 1;
+  t.data.(t.next) <- event;
+  t.next <- (t.next + 1) mod t.capacity
+
+let length t = t.size
+let dropped t = t.dropped
+
+let to_list t =
+  let start = (t.next - t.size + t.capacity) mod t.capacity in
+  List.init t.size (fun i -> t.data.((start + i) mod t.capacity))
+
+let count t ~pred = List.length (List.filter pred (to_list t))
+
+let sends_by_router t =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Update_sent { src; _ } ->
+        Hashtbl.replace table src (1 + Option.value ~default:0 (Hashtbl.find_opt table src))
+      | Update_delivered _ | Router_failed _ | Session_down _ -> ())
+    (to_list t);
+  List.sort
+    (fun (_, a) (_, b) -> Int.compare b a)
+    (Hashtbl.fold (fun r c acc -> (r, c) :: acc) table [])
+
+let between t ~lo ~hi =
+  List.filter
+    (fun e ->
+      let time = time_of e in
+      time >= lo && time < hi)
+    (to_list t)
+
+let dump ?(limit = 50) ppf t =
+  let events = to_list t in
+  let skip = Stdlib.max 0 (List.length events - limit) in
+  if skip > 0 then Fmt.pf ppf "... (%d earlier events)@." skip;
+  List.iteri (fun i e -> if i >= skip then Fmt.pf ppf "%a@." pp_event e) events
+
+let clear t =
+  t.size <- 0;
+  t.next <- 0;
+  t.dropped <- 0

@@ -1,0 +1,45 @@
+(** Event tracing: a bounded ring buffer of typed simulation events for
+    debugging and post-hoc analysis (who sent what when, where sessions
+    dropped).  Attach one through {!Network.config}; recording is O(1) and
+    allocation-light, so traces can stay on for full experiments. *)
+
+type event =
+  | Update_sent of { time : float; src : int; dst : int; update : Bgp_proto.Types.update }
+  | Update_delivered of {
+      time : float;
+      src : int;
+      dst : int;
+      update : Bgp_proto.Types.update;
+    }
+  | Router_failed of { time : float; router : int }
+  | Session_down of { time : float; router : int; peer : int }
+      (** [router] noticed its session to [peer] drop *)
+
+val time_of : event -> float
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer; default capacity 100_000 events.  When full, the oldest
+    events are overwritten (and counted in [dropped]). *)
+
+val record : t -> event -> unit
+val length : t -> int
+val dropped : t -> int
+
+val to_list : t -> event list
+(** Oldest first. *)
+
+val count : t -> pred:(event -> bool) -> int
+
+val sends_by_router : t -> (int * int) list
+(** [(router, updates sent)] sorted by count, busiest first. *)
+
+val between : t -> lo:float -> hi:float -> event list
+(** Events with [lo <= time < hi], oldest first. *)
+
+val dump : ?limit:int -> Format.formatter -> t -> unit
+(** Print the most recent [limit] (default 50) events. *)
+
+val clear : t -> unit

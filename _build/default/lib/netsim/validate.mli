@@ -1,0 +1,23 @@
+(** Post-convergence invariant checks.
+
+    At quiescence (no queued messages, no pending MRAI work) a policy-free
+    shortest-AS-path BGP network must satisfy:
+
+    - no surviving router routes through a failed router (forwarding chains
+      follow live next hops and terminate at an originator);
+    - no forwarding loops;
+    - if the survivor graph is connected, every survivor has a route to
+      every surviving AS, and in single-router-per-AS topologies its AS-path
+      length equals the BFS distance in the survivor graph;
+    - routers in fully-failed ASes are unreachable: nobody retains a route
+      to a dead AS. *)
+
+type issue = { router : int; dest : int; problem : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Network.t -> failure:Bgp_topology.Failure.t -> issue list
+(** Empty list = all invariants hold. *)
+
+val check_exn : Network.t -> failure:Bgp_topology.Failure.t -> unit
+(** @raise Failure with a readable report if any invariant fails. *)

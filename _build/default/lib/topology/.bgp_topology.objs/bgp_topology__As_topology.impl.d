@@ -1,0 +1,1 @@
+lib/topology/as_topology.ml: Array Bgp_engine Degree_dist Float Geometry Graph Int List Stdlib Topology

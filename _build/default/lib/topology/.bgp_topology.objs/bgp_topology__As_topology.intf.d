@@ -1,0 +1,1 @@
+lib/topology/as_topology.mli: Bgp_engine Degree_dist Topology

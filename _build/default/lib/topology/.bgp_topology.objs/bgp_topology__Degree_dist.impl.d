@@ -1,0 +1,1 @@
+lib/topology/degree_dist.ml: Array Bgp_engine Float Graph Hashtbl Int List Stdlib

@@ -1,0 +1,1 @@
+lib/topology/degree_dist.mli: Bgp_engine Graph

@@ -1,0 +1,1 @@
+lib/topology/failure.ml: Array Float Fmt Geometry Graph List Topology

@@ -1,0 +1,1 @@
+lib/topology/failure.mli: Format Geometry Topology

@@ -1,0 +1,1 @@
+lib/topology/geometry.ml: Bgp_engine Float Fmt

@@ -1,0 +1,1 @@
+lib/topology/geometry.mli: Bgp_engine Format

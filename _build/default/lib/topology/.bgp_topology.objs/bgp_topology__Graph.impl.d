@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Array Fmt Int List Printf Queue Stdlib

@@ -1,0 +1,1 @@
+lib/topology/models.ml: Array Bgp_engine Float Geometry Graph List Stdlib

@@ -1,0 +1,1 @@
+lib/topology/models.mli: Bgp_engine Geometry Graph

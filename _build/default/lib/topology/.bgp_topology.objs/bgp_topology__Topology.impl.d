@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Bgp_engine Degree_dist Fmt Geometry Graph Int List

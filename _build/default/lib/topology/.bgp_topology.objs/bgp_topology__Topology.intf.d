@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Bgp_engine Degree_dist Format Geometry Graph

@@ -1,0 +1,106 @@
+module Rng = Bgp_engine.Rng
+module Dist = Bgp_engine.Dist
+
+type config = {
+  n_ases : int;
+  as_size : Dist.t;
+  inter_as_spec : Degree_dist.spec;
+  intra_extra_edges : float;
+  max_extent : float;
+}
+
+let default ~n_ases =
+  {
+    n_ases;
+    as_size = Bounded_pareto { alpha = 1.2; lo = 1.0; hi = 100.0 };
+    inter_as_spec = Degree_dist.internet_like;
+    intra_extra_edges = 0.3;
+    max_extent = 150.0;
+  }
+
+let sample_sizes rng cfg =
+  Array.init cfg.n_ases (fun _ ->
+      let s = int_of_float (Float.round (Dist.sample cfg.as_size rng)) in
+      Stdlib.max 1 (Stdlib.min 100 s))
+
+(* The paper assigns the highest inter-AS degrees to the largest ASes. *)
+let assign_degrees_by_size rng cfg sizes =
+  let degrees = Degree_dist.sample_sequence cfg.inter_as_spec rng ~n:cfg.n_ases in
+  let by_size = Array.init cfg.n_ases (fun i -> i) in
+  Array.sort (fun a b -> Int.compare sizes.(b) sizes.(a)) by_size;
+  let sorted_degrees = Array.copy degrees in
+  Array.sort (fun a b -> Int.compare b a) sorted_degrees;
+  let assigned = Array.make cfg.n_ases 0 in
+  Array.iteri (fun rank asn -> assigned.(asn) <- sorted_degrees.(rank)) by_size;
+  assigned
+
+(* Random connected intra-AS wiring: a random spanning tree (each router
+   attaches to a uniformly chosen earlier one) plus a few random extras. *)
+let wire_intra rng graph routers ~extra =
+  let arr = Array.of_list routers in
+  Rng.shuffle rng arr;
+  let k = Array.length arr in
+  for i = 1 to k - 1 do
+    Graph.add_edge graph arr.(i) arr.(Rng.int rng i)
+  done;
+  if k > 2 then begin
+    let n_extra = int_of_float (Float.round (extra *. float_of_int k)) in
+    for _ = 1 to n_extra do
+      let u = arr.(Rng.int rng k) and v = arr.(Rng.int rng k) in
+      if u <> v then Graph.add_edge graph u v
+    done
+  end
+
+let generate rng cfg =
+  if cfg.n_ases < 2 then invalid_arg "As_topology.generate: need at least 2 ASes";
+  let sizes = sample_sizes rng cfg in
+  let degrees = assign_degrees_by_size rng cfg sizes in
+  (* Inter-AS degree cannot exceed n_ases - 1. *)
+  let degrees = Array.map (fun d -> Stdlib.min (cfg.n_ases - 1) d) degrees in
+  let sum = Array.fold_left ( + ) 0 degrees in
+  if sum mod 2 = 1 then degrees.(0) <- degrees.(0) + 1;
+  let as_graph = Degree_dist.realize rng degrees in
+  (* Router id ranges per AS. *)
+  let n_routers = Array.fold_left ( + ) 0 sizes in
+  let first_router = Array.make cfg.n_ases 0 in
+  let _ =
+    Array.fold_left
+      (fun (asn, offset) size ->
+        first_router.(asn) <- offset;
+        (asn + 1, offset + size))
+      (0, 0) sizes
+  in
+  let as_of_router = Array.make n_routers 0 in
+  Array.iteri
+    (fun asn size ->
+      for i = 0 to size - 1 do
+        as_of_router.(first_router.(asn) + i) <- asn
+      done)
+    sizes;
+  (* Placement: AS disc area proportional to AS size. *)
+  let max_size = Array.fold_left Stdlib.max 1 sizes in
+  let positions = Array.make n_routers Geometry.grid_center in
+  let centers = Array.init cfg.n_ases (fun _ -> Geometry.random_point rng) in
+  Array.iteri
+    (fun asn size ->
+      let radius =
+        cfg.max_extent *. sqrt (float_of_int size /. float_of_int max_size)
+      in
+      for i = 0 to size - 1 do
+        positions.(first_router.(asn) + i) <-
+          Geometry.random_point_in_disc rng ~center:centers.(asn) ~radius
+      done)
+    sizes;
+  let graph = Graph.create n_routers in
+  Array.iteri
+    (fun asn size ->
+      let routers = List.init size (fun i -> first_router.(asn) + i) in
+      wire_intra rng graph routers ~extra:cfg.intra_extra_edges)
+    sizes;
+  (* Each AS-level edge becomes one link between random border routers. *)
+  List.iter
+    (fun (a, b) ->
+      let pick asn = first_router.(asn) + Rng.int rng sizes.(asn) in
+      Graph.add_edge graph (pick a) (pick b))
+    (Graph.edges as_graph);
+  { Topology.graph; positions; as_of_router; n_ases = cfg.n_ases }

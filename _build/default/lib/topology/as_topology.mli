@@ -1,0 +1,28 @@
+(** Realistic multi-router-per-AS topologies (Section 3.1, used in
+    Section 4.1's "more realistic topologies" and Fig 13).
+
+    Per the paper: the number of routers in an AS (1-100) comes from a
+    heavy-tailed distribution; the geographic area of an AS is proportional
+    to its size; the highest inter-AS degrees go to the largest ASes. *)
+
+module Rng := Bgp_engine.Rng
+module Dist := Bgp_engine.Dist
+
+type config = {
+  n_ases : int;
+  as_size : Dist.t;  (** routers per AS, rounded and clamped to [1, 100] *)
+  inter_as_spec : Degree_dist.spec;  (** inter-AS degree distribution *)
+  intra_extra_edges : float;
+      (** extra intra-AS edges per router beyond the spanning tree *)
+  max_extent : float;  (** disc radius of the largest AS on the grid *)
+}
+
+val default : n_ases:int -> config
+(** Bounded-Pareto AS sizes on [1, 100] (alpha 1.2), [internet_like]
+    inter-AS degrees, 0.3 extra intra edges per router, extent 150. *)
+
+val generate : Rng.t -> config -> Topology.t
+(** Build AS-level graph, place each AS in a disc whose area is
+    proportional to its size, wire each AS internally as a random connected
+    subgraph, and realize each AS-level adjacency as one router-to-router
+    link between uniformly chosen border routers. *)

@@ -1,0 +1,75 @@
+type t = {
+  failed : bool array;
+  count : int;
+  center : Geometry.point;
+  radius : float;
+}
+
+let none topo =
+  {
+    failed = Array.make (Topology.num_routers topo) false;
+    count = 0;
+    center = Geometry.grid_center;
+    radius = 0.0;
+  }
+
+let contiguous ?(center = Geometry.grid_center) topo ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Failure.contiguous: fraction outside [0, 1]";
+  let n = Topology.num_routers topo in
+  let k = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let by_distance = Array.init n (fun i -> i) in
+  let dist i = Geometry.distance topo.Topology.positions.(i) center in
+  Array.sort (fun a b -> Float.compare (dist a) (dist b)) by_distance;
+  let failed = Array.make n false in
+  for rank = 0 to k - 1 do
+    failed.(by_distance.(rank)) <- true
+  done;
+  let radius = if k = 0 then 0.0 else dist by_distance.(k - 1) in
+  { failed; count = k; center; radius }
+
+let single topo ~router =
+  let n = Topology.num_routers topo in
+  if router < 0 || router >= n then invalid_arg "Failure.single: router out of range";
+  let failed = Array.make n false in
+  failed.(router) <- true;
+  {
+    failed;
+    count = 1;
+    center = topo.Topology.positions.(router);
+    radius = 0.0;
+  }
+
+let of_list topo routers =
+  let n = Topology.num_routers topo in
+  let failed = Array.make n false in
+  List.iter
+    (fun r ->
+      if r < 0 || r >= n then invalid_arg "Failure.of_list: router out of range";
+      failed.(r) <- true)
+    routers;
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 failed in
+  { failed; count; center = Geometry.grid_center; radius = 0.0 }
+
+let is_failed t r = t.failed.(r)
+
+let failed_list t =
+  let acc = ref [] in
+  for r = Array.length t.failed - 1 downto 0 do
+    if t.failed.(r) then acc := r :: !acc
+  done;
+  !acc
+
+let survivors t =
+  let acc = ref [] in
+  for r = Array.length t.failed - 1 downto 0 do
+    if not t.failed.(r) then acc := r :: !acc
+  done;
+  !acc
+
+let survivors_connected topo t =
+  Graph.is_connected_subset topo.Topology.graph ~keep:(fun v -> not t.failed.(v))
+
+let pp ppf t =
+  Fmt.pf ppf "failure(%d routers, center=%a, radius=%.1f)" t.count Geometry.pp t.center
+    t.radius

@@ -1,0 +1,33 @@
+(** Large-scale failure scenarios: geographically contiguous sets of
+    routers (Section 3.1: "failures in contiguous areas of the grid,
+    usually the center of the grid to avoid edge effects"; Section 3.2:
+    all routers and links in the failed area become unoperational). *)
+
+type t = {
+  failed : bool array;  (** indexed by router id *)
+  count : int;
+  center : Geometry.point;
+  radius : float;  (** distance of the farthest failed router *)
+}
+
+val none : Topology.t -> t
+
+val contiguous : ?center:Geometry.point -> Topology.t -> fraction:float -> t
+(** [contiguous topo ~fraction] fails the [round (fraction * n)] routers
+    closest to [center] (default: the grid centre).  [fraction] in
+    [\[0, 1\]]. *)
+
+val single : Topology.t -> router:int -> t
+(** Isolated failure of one router (the classic small-failure case). *)
+
+val of_list : Topology.t -> int list -> t
+(** Arbitrary failure set (for tests and custom scenarios). *)
+
+val is_failed : t -> int -> bool
+val failed_list : t -> int list
+val survivors : t -> int list
+
+val survivors_connected : Topology.t -> t -> bool
+(** Whether the surviving routers still form one connected component. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+module Rng = Bgp_engine.Rng
+
+type point = { x : float; y : float }
+
+let grid_side = 1000.0
+let grid_center = { x = grid_side /. 2.0; y = grid_side /. 2.0 }
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let random_point rng =
+  { x = Rng.uniform rng ~lo:0.0 ~hi:grid_side; y = Rng.uniform rng ~lo:0.0 ~hi:grid_side }
+
+let clamp v = Float.min grid_side (Float.max 0.0 v)
+
+let random_point_in_disc rng ~center ~radius =
+  (* Uniform over the disc: radius must be scaled by sqrt of a uniform. *)
+  let r = radius *. sqrt (Rng.float rng) in
+  let theta = Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi) in
+  { x = clamp (center.x +. (r *. cos theta)); y = clamp (center.y +. (r *. sin theta)) }
+
+let pp ppf p = Fmt.pf ppf "(%.1f, %.1f)" p.x p.y

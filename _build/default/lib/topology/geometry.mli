@@ -1,0 +1,18 @@
+(** Planar geometry for router placement on the paper's 1000x1000 grid. *)
+
+type point = { x : float; y : float }
+
+val grid_side : float
+(** 1000.0, as in Section 3.1. *)
+
+val grid_center : point
+
+val distance : point -> point -> float
+
+val random_point : Bgp_engine.Rng.t -> point
+(** Uniform on the grid. *)
+
+val random_point_in_disc : Bgp_engine.Rng.t -> center:point -> radius:float -> point
+(** Uniform in the disc, clamped to the grid. *)
+
+val pp : Format.formatter -> point -> unit

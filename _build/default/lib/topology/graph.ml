@@ -1,0 +1,121 @@
+type t = { n : int; adj : int list array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make n []; m = 0 }
+
+let num_nodes t = t.n
+let num_edges t = t.m
+
+let check_node t v =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Graph: node %d out of range" v)
+
+let mem_edge t u v =
+  check_node t u;
+  check_node t v;
+  List.mem v t.adj.(u)
+
+let add_edge t u v =
+  check_node t u;
+  check_node t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if not (List.mem v t.adj.(u)) then begin
+    t.adj.(u) <- List.merge Int.compare [ v ] t.adj.(u);
+    t.adj.(v) <- List.merge Int.compare [ u ] t.adj.(v);
+    t.m <- t.m + 1
+  end
+
+let remove_edge t u v =
+  check_node t u;
+  check_node t v;
+  if List.mem v t.adj.(u) then begin
+    t.adj.(u) <- List.filter (fun w -> w <> v) t.adj.(u);
+    t.adj.(v) <- List.filter (fun w -> w <> u) t.adj.(v);
+    t.m <- t.m - 1
+  end
+
+let neighbors t v =
+  check_node t v;
+  t.adj.(v)
+
+let degree t v =
+  check_node t v;
+  List.length t.adj.(v)
+
+let avg_degree t = if t.n = 0 then 0.0 else 2.0 *. float_of_int t.m /. float_of_int t.n
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := Stdlib.max !best (List.length t.adj.(v))
+  done;
+  !best
+
+let fold_edges f t acc =
+  let acc = ref acc in
+  for u = 0 to t.n - 1 do
+    List.iter (fun v -> if u < v then acc := f u v !acc) t.adj.(u)
+  done;
+  !acc
+
+let edges t = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) t [])
+
+let bfs_from t ~src ~keep =
+  let dist = Array.make t.n max_int in
+  if t.n = 0 then dist
+  else begin
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.take q in
+      let advance v =
+        if keep v && dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end
+      in
+      List.iter advance t.adj.(u)
+    done;
+    dist
+  end
+
+let bfs_dist t ~src =
+  check_node t src;
+  bfs_from t ~src ~keep:(fun _ -> true)
+
+let is_connected_subset t ~keep =
+  let kept = ref [] in
+  for v = t.n - 1 downto 0 do
+    if keep v then kept := v :: !kept
+  done;
+  match !kept with
+  | [] -> true
+  | src :: _ ->
+    let dist = bfs_from t ~src ~keep in
+    List.for_all (fun v -> dist.(v) < max_int) !kept
+
+let is_connected t = is_connected_subset t ~keep:(fun _ -> true)
+
+let connected_components t =
+  let seen = Array.make t.n false in
+  let components = ref [] in
+  for v = t.n - 1 downto 0 do
+    if not seen.(v) then begin
+      let dist = bfs_from t ~src:v ~keep:(fun _ -> true) in
+      let members = ref [] in
+      for u = t.n - 1 downto 0 do
+        if dist.(u) < max_int && not seen.(u) then begin
+          seen.(u) <- true;
+          members := u :: !members
+        end
+      done;
+      components := !members :: !components
+    end
+  done;
+  !components
+
+let copy t = { n = t.n; adj = Array.copy t.adj; m = t.m }
+
+let pp ppf t =
+  Fmt.pf ppf "graph(n=%d, m=%d, avg_deg=%.2f)" t.n t.m (avg_degree t)

@@ -1,0 +1,43 @@
+(** Simple undirected graphs (no self-loops, no multi-edges), indexed by
+    dense integer node ids. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an edgeless graph on nodes [0 .. n-1]. *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; self-loops are rejected with [Invalid_argument]. *)
+
+val remove_edge : t -> int -> int -> unit
+val mem_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+(** Sorted ascending. *)
+
+val degree : t -> int -> int
+val avg_degree : t -> float
+val max_degree : t -> int
+
+val edges : t -> (int * int) list
+(** Each edge once, as [(u, v)] with [u < v]. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val is_connected : t -> bool
+(** Vacuously true for the empty graph. *)
+
+val connected_components : t -> int list list
+
+val bfs_dist : t -> src:int -> int array
+(** Hop distances from [src]; unreachable nodes get [max_int]. *)
+
+val is_connected_subset : t -> keep:(int -> bool) -> bool
+(** Is the subgraph induced by the nodes satisfying [keep] connected?
+    Used to check that a regional failure does not partition survivors. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+module Rng = Bgp_engine.Rng
+
+let waxman rng ~positions ~alpha ~beta =
+  let n = Array.length positions in
+  let g = Graph.create n in
+  let l_max =
+    let best = ref 0.0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        best := Float.max !best (Geometry.distance positions.(u) positions.(v))
+      done
+    done;
+    Float.max !best 1.0
+  in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Geometry.distance positions.(u) positions.(v) in
+      let p = alpha *. exp (-.d /. (beta *. l_max)) in
+      if Rng.float rng < p then Graph.add_edge g u v
+    done
+  done;
+  (* Patch connectivity: repeatedly join the first component to the rest by
+     the geometrically shortest missing edge, mimicking BRITE's fix-up. *)
+  let rec patch () =
+    match Graph.connected_components g with
+    | [] | [ _ ] -> ()
+    | comp :: rest ->
+      let others = List.concat rest in
+      let best = ref None in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              let d = Geometry.distance positions.(u) positions.(v) in
+              match !best with
+              | Some (_, _, d') when d' <= d -> ()
+              | _ -> best := Some (u, v, d))
+            others)
+        comp;
+      (match !best with
+      | Some (u, v, _) -> Graph.add_edge g u v
+      | None -> ());
+      patch ()
+  in
+  patch ();
+  g
+
+(* Weighted choice over nodes 0..k-1 with weight w(i); total > 0. *)
+let weighted_choice rng ~k ~w =
+  let total = ref 0.0 in
+  for i = 0 to k - 1 do
+    total := !total +. w i
+  done;
+  let x = Rng.float rng *. !total in
+  let rec pick i acc =
+    if i = k - 1 then i
+    else
+      let acc = acc +. w i in
+      if x < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let barabasi_albert rng ~n ~m =
+  if m < 1 || m >= n then invalid_arg "Models.barabasi_albert: need 1 <= m < n";
+  let g = Graph.create n in
+  (* Seed: clique on the first m+1 nodes. *)
+  let m0 = m + 1 in
+  for u = 0 to m0 - 1 do
+    for v = u + 1 to m0 - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  for v = m0 to n - 1 do
+    let added = ref 0 in
+    let attempts = ref 0 in
+    while !added < m && !attempts < 50 * m do
+      incr attempts;
+      let u = weighted_choice rng ~k:v ~w:(fun i -> float_of_int (Graph.degree g i)) in
+      if not (Graph.mem_edge g u v) then begin
+        Graph.add_edge g u v;
+        incr added
+      end
+    done
+  done;
+  g
+
+let glp rng ~n ~m ~p ~beta =
+  if beta >= 1.0 then invalid_arg "Models.glp: beta must be < 1";
+  if m < 1 then invalid_arg "Models.glp: m must be >= 1";
+  let g = Graph.create n in
+  (* Seed: path on m+1 nodes. *)
+  let m0 = Stdlib.min n (m + 1) in
+  for v = 1 to m0 - 1 do
+    Graph.add_edge g (v - 1) v
+  done;
+  let next = ref m0 in
+  let weight i = Float.max 0.05 (float_of_int (Graph.degree g i) -. beta) in
+  let add_internal_links () =
+    for _ = 1 to m do
+      let k = !next in
+      let u = weighted_choice rng ~k ~w:weight in
+      let v = weighted_choice rng ~k ~w:weight in
+      if u <> v && not (Graph.mem_edge g u v) then Graph.add_edge g u v
+    done
+  in
+  let add_node () =
+    let v = !next in
+    incr next;
+    let added = ref 0 in
+    let attempts = ref 0 in
+    while !added < Stdlib.min m v && !attempts < 50 * m do
+      incr attempts;
+      let u = weighted_choice rng ~k:v ~w:weight in
+      if not (Graph.mem_edge g u v) then begin
+        Graph.add_edge g u v;
+        incr added
+      end
+    done
+  in
+  while !next < n do
+    if Rng.float rng < p then add_internal_links () else add_node ()
+  done;
+  g

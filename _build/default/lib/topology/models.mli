@@ -1,0 +1,22 @@
+(** Classic BRITE topology models (Section 3.1 lists Waxman,
+    Albert-Barabasi and GLP as the generators BRITE supports).  The paper's
+    main experiments use the skewed distributions in {!Degree_dist}; these
+    models are provided for validation and extension studies. *)
+
+module Rng := Bgp_engine.Rng
+
+val waxman :
+  Rng.t -> positions:Geometry.point array -> alpha:float -> beta:float -> Graph.t
+(** Waxman [15]: edge (u,v) with probability
+    [alpha * exp (-d(u,v) / (beta * l_max))].  The result is patched to be
+    connected by joining components with their geometrically shortest
+    cross edge. *)
+
+val barabasi_albert : Rng.t -> n:int -> m:int -> Graph.t
+(** Albert-Barabasi [16] preferential attachment, [m] edges per new node.
+    Requires [1 <= m < n]. *)
+
+val glp : Rng.t -> n:int -> m:int -> p:float -> beta:float -> Graph.t
+(** Generalized Linear Preference [17]: with probability [p] add [m] new
+    links between existing nodes, otherwise add a new node with [m] links;
+    attachment weight of node [i] is [degree i - beta] with [beta < 1]. *)

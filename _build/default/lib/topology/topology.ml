@@ -1,0 +1,53 @@
+module Rng = Bgp_engine.Rng
+
+type t = {
+  graph : Graph.t;
+  positions : Geometry.point array;
+  as_of_router : int array;
+  n_ases : int;
+}
+
+let of_graph rng graph =
+  let n = Graph.num_nodes graph in
+  {
+    graph;
+    positions = Array.init n (fun _ -> Geometry.random_point rng);
+    as_of_router = Array.init n (fun i -> i);
+    n_ases = n;
+  }
+
+let flat rng ~spec ~n = of_graph rng (Degree_dist.generate spec rng ~n)
+
+let num_routers t = Graph.num_nodes t.graph
+
+let inter_as_degree t r =
+  let own = t.as_of_router.(r) in
+  let foreign =
+    List.filter_map
+      (fun v ->
+        let a = t.as_of_router.(v) in
+        if a = own then None else Some a)
+      (Graph.neighbors t.graph r)
+  in
+  List.length (List.sort_uniq Int.compare foreign)
+
+let routers_of_as t a =
+  let acc = ref [] in
+  for r = num_routers t - 1 downto 0 do
+    if t.as_of_router.(r) = a then acc := r :: !acc
+  done;
+  !acc
+
+let is_ebgp t u v = t.as_of_router.(u) <> t.as_of_router.(v)
+
+let validate t =
+  let n = num_routers t in
+  if Array.length t.positions <> n then Error "positions length mismatch"
+  else if Array.length t.as_of_router <> n then Error "as_of_router length mismatch"
+  else if Array.exists (fun a -> a < 0 || a >= t.n_ases) t.as_of_router then
+    Error "AS id out of range"
+  else if not (Graph.is_connected t.graph) then Error "graph not connected"
+  else Ok ()
+
+let pp ppf t =
+  Fmt.pf ppf "topology(routers=%d, ases=%d, %a)" (num_routers t) t.n_ases Graph.pp t.graph

@@ -1,0 +1,38 @@
+(** A placed router-level topology: the object the simulator consumes.
+
+    For the paper's "simple" scenarios every AS has exactly one router
+    ([flat]); the "realistic" scenarios of Fig 13 use multiple routers per
+    AS ({!As_topology.generate}, re-exported here as [realistic]). *)
+
+module Rng := Bgp_engine.Rng
+
+type t = {
+  graph : Graph.t;  (** router-level connectivity *)
+  positions : Geometry.point array;  (** router positions on the grid *)
+  as_of_router : int array;  (** AS id of each router *)
+  n_ases : int;
+}
+
+val flat : Rng.t -> spec:Degree_dist.spec -> n:int -> t
+(** One router per AS ([as_of_router.(i) = i]), degree distribution per
+    [spec], positions uniform on the 1000x1000 grid (Section 3.1). *)
+
+val of_graph : Rng.t -> Graph.t -> t
+(** Wrap an existing graph as a one-router-per-AS topology with uniform
+    random placement (used with the {!Models} generators and in tests). *)
+
+val num_routers : t -> int
+
+val inter_as_degree : t -> int -> int
+(** Number of distinct foreign ASes a router's AS connects to through this
+    router's own links.  Equal to graph degree in flat topologies; used by
+    the degree-dependent MRAI assignment. *)
+
+val routers_of_as : t -> int -> int list
+val is_ebgp : t -> int -> int -> bool
+(** Do the two routers belong to different ASes? *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: sizes agree, graph connected, AS ids in range. *)
+
+val pp : Format.formatter -> t -> unit

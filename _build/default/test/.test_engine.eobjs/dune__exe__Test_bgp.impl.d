@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Bgp_core Bgp_engine Bgp_proto Float Hashtbl Int List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bgp_core Hashtbl List Option Printf QCheck QCheck_alcotest String

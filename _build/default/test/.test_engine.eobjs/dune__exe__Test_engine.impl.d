@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bgp_engine Float Fun Gen Int List QCheck QCheck_alcotest Stdlib

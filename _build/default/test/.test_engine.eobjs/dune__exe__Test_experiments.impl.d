@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bgp_experiments Bgp_netsim Bgp_proto Bgp_topology Float Fmt Int List Printf String

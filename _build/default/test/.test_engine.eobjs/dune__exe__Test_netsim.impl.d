@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bgp_core Bgp_engine Bgp_netsim Bgp_proto Bgp_topology Float Fun List Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Bgp_core Bgp_experiments Bgp_netsim Bgp_proto Bgp_topology Fmt List Printf

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Bgp_engine Bgp_proto Lazy List Option

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Bgp_engine Bgp_topology Float Fun Int List Printf QCheck QCheck_alcotest Stdlib

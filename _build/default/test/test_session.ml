@@ -1,0 +1,220 @@
+(* Tests for the BGP session FSM: handshake, keepalive maintenance, hold
+   expiry, notifications, and update gating. *)
+
+module Sched = Bgp_engine.Scheduler
+module Rng = Bgp_engine.Rng
+module Types = Bgp_proto.Types
+module Session = Bgp_proto.Session
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* A pair of endpoints joined by a lossy-capable wire with 25 ms delay. *)
+type endpoint = {
+  session : Session.t;
+  mutable established : int;
+  mutable closed : (float * string) list;
+  mutable delivered : Types.update list;
+  mutable cut : bool;  (* when true, this endpoint's outgoing wire drops *)
+}
+
+let make_pair ?(config = Session.default_config) ?(config_b = None) sched =
+  let delay = 0.025 in
+  let rec a =
+    lazy
+      {
+        session =
+          Session.create ~sched ~rng:(Rng.create 1) ~config ~local_as:10
+            {
+              Session.send_wire =
+                (fun msg ->
+                  let src = Lazy.force a and dst = Lazy.force b in
+                  if not src.cut then
+                    ignore
+                      (Sched.schedule sched ~delay (fun () ->
+                           Session.handle_wire dst.session msg)));
+              on_established =
+                (fun () ->
+                  let e = Lazy.force a in
+                  e.established <- e.established + 1);
+              on_closed =
+                (fun ~reason ->
+                  let e = Lazy.force a in
+                  e.closed <- (Sched.now sched, reason) :: e.closed);
+              deliver_update =
+                (fun u ->
+                  let e = Lazy.force a in
+                  e.delivered <- u :: e.delivered);
+            };
+        established = 0;
+        closed = [];
+        delivered = [];
+        cut = false;
+      }
+  and b =
+    lazy
+      {
+        session =
+          Session.create ~sched ~rng:(Rng.create 2)
+            ~config:(Option.value ~default:config config_b)
+            ~local_as:20
+            {
+              Session.send_wire =
+                (fun msg ->
+                  let src = Lazy.force b and dst = Lazy.force a in
+                  if not src.cut then
+                    ignore
+                      (Sched.schedule sched ~delay (fun () ->
+                           Session.handle_wire dst.session msg)));
+              on_established =
+                (fun () ->
+                  let e = Lazy.force b in
+                  e.established <- e.established + 1);
+              on_closed =
+                (fun ~reason ->
+                  let e = Lazy.force b in
+                  e.closed <- (Sched.now sched, reason) :: e.closed);
+              deliver_update =
+                (fun u ->
+                  let e = Lazy.force b in
+                  e.delivered <- u :: e.delivered);
+            };
+        established = 0;
+        closed = [];
+        delivered = [];
+        cut = false;
+      }
+  in
+  (Lazy.force a, Lazy.force b)
+
+let no_jitter = { Session.default_config with Session.jitter = false }
+
+let test_handshake () =
+  let sched = Sched.create () in
+  let a, b = make_pair ~config:no_jitter sched in
+  Session.start a.session;
+  (* b opens passively on receipt of a's OPEN. *)
+  Sched.run ~until:1.0 sched;
+  checkb "a established" true (Session.state a.session = Session.Established);
+  checkb "b established" true (Session.state b.session = Session.Established);
+  checki "a fired on_established once" 1 a.established;
+  checki "b fired on_established once" 1 b.established
+
+let test_hold_negotiation () =
+  let sched = Sched.create () in
+  let config_b = Some { no_jitter with Session.hold_time = 30.0 } in
+  let a, b = make_pair ~config:no_jitter ~config_b sched in
+  Session.start a.session;
+  Sched.run ~until:1.0 sched;
+  checkb "a negotiated min(90,30)" true
+    (Session.negotiated_hold_time a.session = Some 30.0);
+  checkb "b negotiated min(90,30)" true
+    (Session.negotiated_hold_time b.session = Some 30.0)
+
+let test_keepalives_maintain () =
+  let sched = Sched.create () in
+  let a, b = make_pair ~config:no_jitter sched in
+  Session.start a.session;
+  (* Several hold periods of silence: keepalives must keep it alive. *)
+  Sched.run ~until:500.0 sched;
+  checkb "a still established" true (Session.state a.session = Session.Established);
+  checkb "b still established" true (Session.state b.session = Session.Established);
+  checkb "keepalives flowed" true (Session.keepalives_sent a.session > 10);
+  checkb "no closures" true (a.closed = [] && b.closed = [])
+
+let test_hold_expiry_on_silence () =
+  let sched = Sched.create () in
+  let a, b = make_pair ~config:no_jitter sched in
+  Session.start a.session;
+  Sched.run ~until:1.0 sched;
+  (* a dies silently at t=100: its wire is cut, no notification. *)
+  ignore (Sched.schedule sched ~delay:99.0 (fun () -> a.cut <- true));
+  Sched.run ~until:100.0 sched;
+  Sched.run ~until:400.0 sched;
+  checkb "b closed" true (Session.state b.session = Session.Idle);
+  (match b.closed with
+  | [ (time, reason) ] ->
+    checkb "reason mentions hold" true (reason = "hold timer expired");
+    (* Detection within (0, hold] after the silence began. *)
+    checkb "detected within the hold time" true (time > 100.0 && time <= 100.0 +. 90.0)
+  | l -> Alcotest.failf "expected one closure, got %d" (List.length l));
+  (* Once b stops keepaliving, a's own hold timer expires as well. *)
+  checkb "a's hold expires after b goes quiet" true (Session.state a.session = Session.Idle)
+
+let test_notification_teardown () =
+  let sched = Sched.create () in
+  let a, b = make_pair ~config:no_jitter sched in
+  Session.start a.session;
+  Sched.run ~until:1.0 sched;
+  Session.close a.session ~reason:"maintenance";
+  Sched.run ~until:2.0 sched;
+  checkb "a idle" true (Session.state a.session = Session.Idle);
+  checkb "b idle" true (Session.state b.session = Session.Idle);
+  (match b.closed with
+  | [ (_, reason) ] -> checkb "peer reason propagated" true (reason = "peer: maintenance")
+  | _ -> Alcotest.fail "expected one closure at b")
+
+let test_update_gating () =
+  let sched = Sched.create () in
+  let a, b = make_pair ~config:no_jitter sched in
+  (* Before establishment: dropped. *)
+  checkb "update refused when idle" false
+    (Session.send_update a.session (Types.Withdraw 5));
+  Session.start a.session;
+  Sched.run ~until:1.0 sched;
+  checkb "update accepted when established" true
+    (Session.send_update a.session (Types.Advertise { dest = 7; path = [ 10; 7 ] }));
+  Sched.run ~until:2.0 sched;
+  (match b.delivered with
+  | [ Types.Advertise { dest = 7; _ } ] -> ()
+  | _ -> Alcotest.fail "update not delivered");
+  checki "delivery counted" 1 (Session.updates_delivered b.session)
+
+let test_updates_refresh_hold () =
+  let sched = Sched.create () in
+  let a, b = make_pair ~config:no_jitter sched in
+  Session.start a.session;
+  Sched.run ~until:1.0 sched;
+  (* Cut a's keepalives but keep manually pumping updates more often than
+     the hold time: b must stay up (updates refresh the hold timer). *)
+  let rec pump n =
+    if n > 0 then
+      ignore
+        (Sched.schedule sched ~delay:60.0 (fun () ->
+             (* bypass a's cut wire: inject directly into b *)
+             Session.handle_wire b.session
+               (Session.Update_msg (Types.Withdraw 1));
+             pump (n - 1)))
+  in
+  a.cut <- true;
+  pump 5;
+  Sched.run ~until:290.0 sched;
+  checkb "b alive on updates alone" true (Session.state b.session = Session.Established)
+
+let test_jitter_bounds () =
+  (* With jitter on, detection still happens within (0, hold]. *)
+  let sched = Sched.create () in
+  let a, b = make_pair ~config:Session.default_config sched in
+  Session.start a.session;
+  Sched.run ~until:1.0 sched;
+  ignore (Sched.schedule sched ~delay:49.0 (fun () -> a.cut <- true));
+  Sched.run ~until:600.0 sched;
+  match b.closed with
+  | [ (time, _) ] -> checkb "within hold bound" true (time > 50.0 && time <= 50.0 +. 90.0)
+  | _ -> Alcotest.fail "expected one closure"
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "fsm",
+        [
+          Alcotest.test_case "handshake" `Quick test_handshake;
+          Alcotest.test_case "hold negotiation" `Quick test_hold_negotiation;
+          Alcotest.test_case "keepalives maintain" `Quick test_keepalives_maintain;
+          Alcotest.test_case "hold expiry on silence" `Quick test_hold_expiry_on_silence;
+          Alcotest.test_case "notification teardown" `Quick test_notification_teardown;
+          Alcotest.test_case "update gating" `Quick test_update_gating;
+          Alcotest.test_case "updates refresh hold" `Quick test_updates_refresh_hold;
+          Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds;
+        ] );
+    ]
