@@ -15,9 +15,16 @@
      dune exec bench/main.exe -- --full          # paper-scale grids
      dune exec bench/main.exe -- fig3 fig7       # a subset of figures
      dune exec bench/main.exe -- --trials 5      # override trials
+     dune exec bench/main.exe -- --jobs 4        # trial fan-out over 4 domains
      dune exec bench/main.exe -- --micro-only
      dune exec bench/main.exe -- --figures-only
-     dune exec bench/main.exe -- --csv-dir DIR   # also dump CSVs *)
+     dune exec bench/main.exe -- --csv-dir DIR   # also dump CSVs
+
+   --jobs N runs every figure's trial fan-out on a pool of N OCaml
+   domains (default: Domain.recommended_domain_count).  Results are
+   bit-identical to --jobs 1 — each trial owns its seed, RNG and
+   scheduler — so the flag only changes wall-clock time; each figure
+   reports its achieved parallel speedup. *)
 
 module Figure = Bgp_experiments.Figure
 module Figures = Bgp_experiments.Figures
@@ -25,6 +32,7 @@ module Scenarios = Bgp_experiments.Scenarios
 module Verdicts = Bgp_experiments.Verdicts
 
 module Ablations = Bgp_experiments.Ablations
+module Pool = Bgp_engine.Pool
 
 type mode = {
   opts : Scenarios.opts;
@@ -72,6 +80,11 @@ let parse_args () =
     | "--csv-dir" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> Pool.set_default_jobs j
+      | Some _ | None -> failwith ("--jobs expects a positive integer, got " ^ n));
+      loop rest
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
       figures := arg :: !figures;
       loop rest
@@ -93,6 +106,17 @@ let parse_args () =
   }
 
 (* --- Figure regeneration ------------------------------------------------ *)
+
+(* Per-figure parallel speedup: summed per-run simulation time over the
+   elapsed time of the pool batches — i.e. how much faster than a
+   sequential replay of the same runs this figure was produced.  Runs
+   served from the sweep cache execute nothing, hence "cached". *)
+let pp_pool_speedup ppf (pool : Pool.stats) =
+  if pool.Pool.jobs_run = 0 then Fmt.pf ppf "cached"
+  else if pool.Pool.wall <= 0.0 then Fmt.pf ppf "%d sim runs" pool.Pool.jobs_run
+  else
+    Fmt.pf ppf "%d sim runs, %.2fx speedup over sequential" pool.Pool.jobs_run
+      (pool.Pool.busy /. pool.Pool.wall)
 
 let normalize_figure_id id =
   let digits =
@@ -121,7 +145,9 @@ let run_figures mode =
   List.iter
     (fun (id, make) ->
       let t0 = Unix.gettimeofday () in
+      Pool.reset_stats ();
       let fig = make mode.opts in
+      let pool = Pool.stats () in
       Fmt.pr "@.%a" Figure.pp fig;
       Fmt.pr "%a" Figure.pp_chart fig;
       let verdicts = Verdicts.check fig in
@@ -131,7 +157,9 @@ let run_figures mode =
           if v.Verdicts.holds then incr total_pass;
           Fmt.pr "  %a@." Verdicts.pp_verdict v)
         verdicts;
-      Fmt.pr "  (%.1f s wall)@." (Unix.gettimeofday () -. t0);
+      Fmt.pr "  (%.1f s wall, %a)@."
+        (Unix.gettimeofday () -. t0)
+        pp_pool_speedup pool;
       match mode.csv_dir with
       | None -> ()
       | Some dir ->
@@ -149,10 +177,14 @@ let run_ablations mode =
   List.iter
     (fun (name, make) ->
       let t0 = Unix.gettimeofday () in
+      Pool.reset_stats ();
       let fig = make mode.opts in
+      let pool = Pool.stats () in
       Fmt.pr "@.%a" Figure.pp fig;
       Fmt.pr "%a" Figure.pp_chart fig;
-      Fmt.pr "  (%s, %.1f s wall)@." name (Unix.gettimeofday () -. t0))
+      Fmt.pr "  (%s, %.1f s wall, %a)@." name
+        (Unix.gettimeofday () -. t0)
+        pp_pool_speedup pool)
     Ablations.all
 
 (* --- Micro-benchmarks ---------------------------------------------------- *)
@@ -294,8 +326,10 @@ let run_micro () =
 
 let () =
   let mode = parse_args () in
-  Fmt.pr "BGP convergence benchmark harness (%d trials/point, %d-node flat topologies)@."
-    mode.opts.Scenarios.trials mode.opts.Scenarios.n;
+  Fmt.pr
+    "BGP convergence benchmark harness (%d trials/point, %d-node flat topologies, %d \
+     jobs)@."
+    mode.opts.Scenarios.trials mode.opts.Scenarios.n (Pool.default_jobs ());
   if mode.figs then run_figures mode;
   if mode.ablations then run_ablations mode;
   if mode.micro then run_micro ()

@@ -36,9 +36,13 @@ let scheme_of ~name ~mrai ~low ~high ~up_th ~down_th =
           })
   | s -> Error (Printf.sprintf "unknown scheme %S (static|degree|dynamic)" s)
 
-let run nodes realistic spec_name failure seed trials scheme_name mrai low high up_th
-    down_th batching tcp_batch per_dest bypass_name damping policies analytic hold_time
-    trace_n validate quiet =
+let run nodes realistic spec_name failure seed trials jobs scheme_name mrai low high
+    up_th down_th batching tcp_batch per_dest bypass_name damping policies analytic
+    hold_time trace_n validate quiet =
+  if jobs < 0 then begin
+    Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
+    exit 1
+  end;
   match spec_of_string spec_name with
   | Error (`Msg m) ->
     Fmt.epr "error: %s@." m;
@@ -101,24 +105,37 @@ let run nodes realistic spec_name failure seed trials scheme_name mrai low high 
       let delays = Bgp_engine.Stats.create () in
       let msgs = Bgp_engine.Stats.create () in
       let ok = ref true in
-      for i = 0 to trials - 1 do
-        let r = Runner.run { scenario with Runner.seed = seed + i } in
-        Bgp_engine.Stats.add delays r.Runner.convergence_delay;
-        Bgp_engine.Stats.add msgs (float_of_int r.Runner.messages);
-        if not r.Runner.converged then ok := false;
-        if r.Runner.issues <> [] then begin
-          ok := false;
-          List.iter
-            (fun i -> Fmt.epr "invariant: %a@." Bgp_netsim.Validate.pp_issue i)
-            r.Runner.issues
-        end;
-        if not quiet then
-          Fmt.pr
-            "seed %3d: delay %8.2f s, %7d msgs (%d adverts, %d withdrawals), peak \
-             queue %d, eliminated %d@."
-            (seed + i) r.Runner.convergence_delay r.Runner.messages r.Runner.adverts
-            r.Runner.withdrawals r.Runner.max_queue r.Runner.eliminated
-      done;
+      (* Trials are independent (one seed, RNG and scheduler each), so
+         they fan out over a domain pool; results are identical to the
+         sequential order for any job count.  A shared trace buffer is
+         the one cross-trial object, so tracing forces one job. *)
+      let jobs =
+        match trace with
+        | Some _ -> 1
+        | None -> if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs
+      in
+      let results =
+        Bgp_engine.Pool.map ~jobs Runner.run
+          (List.init trials (fun i -> { scenario with Runner.seed = seed + i }))
+      in
+      List.iteri
+        (fun i r ->
+          Bgp_engine.Stats.add delays r.Runner.convergence_delay;
+          Bgp_engine.Stats.add msgs (float_of_int r.Runner.messages);
+          if not r.Runner.converged then ok := false;
+          if r.Runner.issues <> [] then begin
+            ok := false;
+            List.iter
+              (fun i -> Fmt.epr "invariant: %a@." Bgp_netsim.Validate.pp_issue i)
+              r.Runner.issues
+          end;
+          if not quiet then
+            Fmt.pr
+              "seed %3d: delay %8.2f s, %7d msgs (%d adverts, %d withdrawals), peak \
+               queue %d, eliminated %d@."
+              (seed + i) r.Runner.convergence_delay r.Runner.messages r.Runner.adverts
+              r.Runner.withdrawals r.Runner.max_queue r.Runner.eliminated)
+        results;
       Fmt.pr "convergence delay: %a@." Bgp_engine.Stats.pp_summary
         (Bgp_engine.Stats.summarize delays);
       Fmt.pr "update messages  : %a@." Bgp_engine.Stats.pp_summary
@@ -153,6 +170,13 @@ let failure =
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base RNG seed.")
 let trials = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Seeds to run and average.")
+
+let jobs =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Run trials on N domains in parallel (0 = one per recommended core). \
+                 Each trial owns its seed, RNG and scheduler, so the output is \
+                 identical for every N; --trace forces N=1 (trials share the buffer).")
 
 let scheme_name =
   Arg.(value & opt string "static"
@@ -208,9 +232,9 @@ let cmd =
   Cmd.v
     (Cmd.info "bgpsim" ~doc)
     Term.(
-      const run $ nodes $ realistic $ spec_name $ failure $ seed $ trials $ scheme_name
-      $ mrai $ low $ high $ up_th $ down_th $ batching $ tcp_batch $ per_dest
-      $ bypass_name $ damping $ policies $ analytic $ hold_time $ trace_n $ validate
-      $ quiet)
+      const run $ nodes $ realistic $ spec_name $ failure $ seed $ trials $ jobs
+      $ scheme_name $ mrai $ low $ high $ up_th $ down_th $ batching $ tcp_batch
+      $ per_dest $ bypass_name $ damping $ policies $ analytic $ hold_time $ trace_n
+      $ validate $ quiet)
 
 let () = exit (Cmd.eval' cmd)

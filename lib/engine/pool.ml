@@ -1,0 +1,126 @@
+(* Domain work pool: a mutex-protected deque of job indices drained by
+   [jobs] workers (the caller plus [jobs - 1] spawned domains).  Results
+   land in a per-index slot, so output order equals input order no
+   matter which domain ran which job. *)
+
+let default = Atomic.make 0 (* 0 = unset, resolve lazily *)
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: job count must be >= 1";
+  Atomic.set default n
+
+let default_jobs () =
+  match Atomic.get default with
+  | 0 -> Domain.recommended_domain_count ()
+  | n -> n
+
+type stats = { busy : float; wall : float; jobs_run : int; batches : int }
+
+let stats_lock = Mutex.create ()
+let stats_acc = ref { busy = 0.0; wall = 0.0; jobs_run = 0; batches = 0 }
+
+let add_stats ~busy ~wall ~jobs_run =
+  Mutex.lock stats_lock;
+  let s = !stats_acc in
+  stats_acc :=
+    {
+      busy = s.busy +. busy;
+      wall = s.wall +. wall;
+      jobs_run = s.jobs_run + jobs_run;
+      batches = s.batches + 1;
+    };
+  Mutex.unlock stats_lock
+
+let stats () =
+  Mutex.lock stats_lock;
+  let s = !stats_acc in
+  Mutex.unlock stats_lock;
+  s
+
+let reset_stats () =
+  Mutex.lock stats_lock;
+  stats_acc := { busy = 0.0; wall = 0.0; jobs_run = 0; batches = 0 };
+  Mutex.unlock stats_lock
+
+let now = Unix.gettimeofday
+
+(* The work queue: indices 0..n-1, taken front-first. *)
+type deque = { m : Mutex.t; mutable items : int list }
+
+let take dq =
+  Mutex.lock dq.m;
+  let r =
+    match dq.items with
+    | [] -> None
+    | i :: rest ->
+      dq.items <- rest;
+      Some i
+  in
+  Mutex.unlock dq.m;
+  r
+
+(* First failure by input index, so the re-raised exception is
+   deterministic even when several jobs raise on different domains. *)
+type failure = { fm : Mutex.t; mutable err : (int * exn * Printexc.raw_backtrace) option }
+
+let record_failure fl i e bt =
+  Mutex.lock fl.fm;
+  (match fl.err with
+  | Some (j, _, _) when j <= i -> ()
+  | _ -> fl.err <- Some (i, e, bt));
+  Mutex.unlock fl.fm
+
+(* [busy] is process CPU time, which aggregates every domain's work, so
+   [busy /. wall] is an honest speedup estimate: ~1 on a saturated
+   single core however many domains run, ~jobs on idle hardware. *)
+let with_batch_stats ~jobs_run body =
+  let t0 = now () in
+  let c0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      add_stats ~busy:(Sys.time () -. c0) ~wall:(now () -. t0) ~jobs_run)
+    body
+
+let sequential_map f xs =
+  with_batch_stats ~jobs_run:(List.length xs) (fun () -> List.map f xs)
+
+let map ?jobs f xs =
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j when j >= 1 -> j
+    | Some _ -> invalid_arg "Pool.map: job count must be >= 1"
+  in
+  let n = List.length xs in
+  if jobs = 1 || n <= 1 then sequential_map f xs
+  else
+    with_batch_stats ~jobs_run:n (fun () ->
+        let input = Array.of_list xs in
+        let results = Array.make n None in
+        let queue = { m = Mutex.create (); items = List.init n Fun.id } in
+        let failed = { fm = Mutex.create (); err = None } in
+        let worker () =
+          (* Every job runs even after a failure elsewhere: that keeps
+             the re-raised exception deterministic (lowest input index)
+             instead of depending on which domain noticed a flag first. *)
+          let rec loop () =
+            match take queue with
+            | None -> ()
+            | Some i ->
+              (match f input.(i) with
+              | y -> results.(i) <- Some y
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                record_failure failed i e bt);
+              loop ()
+          in
+          loop ()
+        in
+        let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join domains;
+        match failed.err with
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None ->
+          Array.to_list
+            (Array.map (function Some y -> y | None -> assert false) results))

@@ -1,0 +1,47 @@
+(** Work pool over OCaml 5 domains.
+
+    [map] fans a list of independent jobs out over [jobs] domains (a
+    mutex-protected work deque; each worker repeatedly takes the next
+    pending job).  Results are returned in input order, so for a pure
+    job function the output is bit-identical to [List.map] regardless
+    of the job count or of which domain ran which job.  [jobs = 1] (or
+    a single-element input) runs entirely in the calling domain with no
+    domain spawned at all.
+
+    Exceptions: if one or more jobs raise, the pool drains, joins every
+    worker domain (no domain leak), and re-raises — deterministically,
+    the exception of the raising job with the {e lowest} input index,
+    with its original backtrace. *)
+
+val default_jobs : unit -> int
+(** Process-wide default used when [?jobs] is omitted.  Initially
+    [Domain.recommended_domain_count ()]; override with
+    [set_default_jobs] (e.g. from a [--jobs] CLI flag). *)
+
+val set_default_jobs : int -> unit
+(** Sets the process-wide default job count.
+    @raise Invalid_argument if the count is [< 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?jobs f xs] is [List.map f xs], computed on up to [jobs]
+    domains (default {!default_jobs}).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+(** {1 Instrumentation}
+
+    The pool keeps cumulative counters so callers (the bench harness)
+    can report parallel speedup: [busy] is the process CPU time consumed
+    during [map] calls — which aggregates every domain's work, i.e. an
+    estimate of the sequential replay cost — and [wall] is their elapsed
+    time, so [busy /. wall] estimates the achieved speedup (~1 on a
+    saturated single core regardless of the job count). *)
+
+type stats = {
+  busy : float;  (** process CPU seconds consumed during [map] calls *)
+  wall : float;  (** summed elapsed seconds of [map] calls *)
+  jobs_run : int;  (** jobs executed *)
+  batches : int;  (** [map] calls *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

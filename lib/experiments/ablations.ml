@@ -17,13 +17,16 @@ let ablation_sizes (opts : Scenarios.opts) =
     if small = large then [ small ] else [ small; large ]
 
 let series (opts : Scenarios.opts) ~label ~metric make_scenario =
+  (* Prefetch the whole series so the trial fan-out parallelises across
+     points, not one point at a time. *)
+  let scenarios = List.map (fun frac -> (frac, make_scenario frac)) (ablation_sizes opts) in
+  Sweep.prefetch (List.map (fun (_, s) -> (s, opts.trials)) scenarios);
   {
     Figure.label;
     points =
       List.map
-        (fun frac ->
-          Sweep.point (make_scenario frac) ~trials:opts.trials ~x:(frac *. 100.0) ~metric)
-        (ablation_sizes opts);
+        (fun (frac, s) -> Sweep.point s ~trials:opts.trials ~x:(frac *. 100.0) ~metric)
+        scenarios;
   }
 
 let flat_scenario (opts : Scenarios.opts) config frac =
@@ -213,20 +216,14 @@ let loop_check opts =
 
 let size_scaling (opts : Scenarios.opts) =
   let series_for n =
-    {
-      Figure.label = Printf.sprintf "%d nodes" n;
-      points =
-        List.map
-          (fun frac ->
-            let scenario =
-              Runner.scenario
-                ~net:(Network.config_default Config.(with_mrai (Static 1.25) default))
-                ~failure:(Runner.Fraction frac) ~seed:opts.seed
-                (Runner.Flat { spec = Degree_dist.skewed_70_30; n })
-            in
-            Sweep.point scenario ~trials:opts.trials ~x:(frac *. 100.0) ~metric:delay)
-          (ablation_sizes opts);
-    }
+    series opts
+      ~label:(Printf.sprintf "%d nodes" n)
+      ~metric:delay
+      (fun frac ->
+        Runner.scenario
+          ~net:(Network.config_default Config.(with_mrai (Static 1.25) default))
+          ~failure:(Runner.Fraction frac) ~seed:opts.seed
+          (Runner.Flat { spec = Degree_dist.skewed_70_30; n }))
   in
   {
     Figure.id = "ablation-size";

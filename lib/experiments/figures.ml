@@ -9,25 +9,27 @@ let messages r = float_of_int r.Runner.messages
 (* The 70-30 topology's class boundary: low-degree nodes have degree 1-3. *)
 let degree_threshold = 3
 
-let series_over_sizes (opts : Scenarios.opts) ~label ~metric make_scenario =
+(* Both series builders prefetch the whole sweep before reading any
+   point, so the trial fan-out parallelises across the full series
+   width (points x trials), not one point at a time. *)
+
+let series_over (opts : Scenarios.opts) ~label ~metric ~xs ~x_of make_scenario =
+  let scenarios = List.map (fun x -> (x, make_scenario x)) xs in
+  Sweep.prefetch (List.map (fun (_, s) -> (s, opts.trials)) scenarios);
   {
     Figure.label;
     points =
       List.map
-        (fun frac ->
-          Sweep.point (make_scenario frac) ~trials:opts.trials ~x:(frac *. 100.0) ~metric)
-        opts.sizes;
+        (fun (x, s) -> Sweep.point s ~trials:opts.trials ~x:(x_of x) ~metric)
+        scenarios;
   }
 
+let series_over_sizes (opts : Scenarios.opts) ~label ~metric make_scenario =
+  series_over opts ~label ~metric ~xs:opts.sizes ~x_of:(fun frac -> frac *. 100.0)
+    make_scenario
+
 let series_over_mrais (opts : Scenarios.opts) ~label ~metric make_scenario =
-  {
-    Figure.label;
-    points =
-      List.map
-        (fun mrai ->
-          Sweep.point (make_scenario mrai) ~trials:opts.trials ~x:mrai ~metric)
-        opts.mrais;
-  }
+  series_over opts ~label ~metric ~xs:opts.mrais ~x_of:Fun.id make_scenario
 
 let static_size_series opts ~metric mrai =
   series_over_sizes opts

@@ -1,22 +1,121 @@
 module Runner = Bgp_netsim.Runner
 module Stats = Bgp_engine.Stats
+module Pool = Bgp_engine.Pool
 
-let cache : (string, Runner.result list) Hashtbl.t = Hashtbl.create 64
+(* The memo cache is shared by every domain running trials, so it is a
+   mutex-protected table with single-flight semantics: the first caller
+   to miss on a key installs a [Computing] marker and simulates outside
+   the lock; concurrent callers for the same key block on the condition
+   variable instead of simulating the same (scenario, trials) twice. *)
+
+type entry = Done of Runner.result list | Computing
+
+let lock = Mutex.create ()
+let cond = Condition.create ()
+let cache : (string, entry) Hashtbl.t = Hashtbl.create 64
 
 let key scenario trials =
   Digest.string (Marshal.to_string (scenario, trials) [])
 
-let results scenario ~trials =
-  let k = key scenario trials in
+let trial_scenarios scenario trials =
+  List.init trials (fun i -> { scenario with Runner.seed = scenario.Runner.seed + i })
+
+(* With [lock] held: wait out any in-flight computation of [k]; either
+   return the cached result or install a Computing claim for the caller. *)
+let rec find_or_claim k =
   match Hashtbl.find_opt cache k with
-  | Some r -> r
+  | Some (Done r) -> `Hit r
+  | Some Computing ->
+    Condition.wait cond lock;
+    find_or_claim k
   | None ->
-    let r =
-      List.init trials (fun i ->
-          Runner.run { scenario with Runner.seed = scenario.Runner.seed + i })
-    in
-    Hashtbl.replace cache k r;
+    Hashtbl.replace cache k Computing;
+    `Claimed
+
+(* Resolve claims after computing outside the lock.  On failure the
+   claims are simply dropped so a later caller retries.  A concurrent
+   [clear_cache] may have removed a claim already; only still-pending
+   markers are touched. *)
+let fill_done k r =
+  Hashtbl.replace cache k (Done r)
+
+let drop_claim k =
+  match Hashtbl.find_opt cache k with
+  | Some Computing -> Hashtbl.remove cache k
+  | Some (Done _) | None -> ()
+
+let results ?jobs scenario ~trials =
+  let k = key scenario trials in
+  Mutex.lock lock;
+  match find_or_claim k with
+  | `Hit r ->
+    Mutex.unlock lock;
     r
+  | `Claimed ->
+    Mutex.unlock lock;
+    (match Pool.map ?jobs Runner.run (trial_scenarios scenario trials) with
+    | r ->
+      Mutex.lock lock;
+      fill_done k r;
+      Condition.broadcast cond;
+      Mutex.unlock lock;
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock lock;
+      drop_claim k;
+      Condition.broadcast cond;
+      Mutex.unlock lock;
+      Printexc.raise_with_backtrace e bt)
+
+let prefetch ?jobs specs =
+  (* Claim every uncached key in one pass; a key listed twice is only
+     claimed once (the second occurrence sees the Computing marker). *)
+  let specs = List.map (fun (s, t) -> (key s t, s, t)) specs in
+  Mutex.lock lock;
+  let claimed =
+    List.filter
+      (fun (k, _, _) ->
+        match Hashtbl.find_opt cache k with
+        | Some _ -> false
+        | None ->
+          Hashtbl.replace cache k Computing;
+          true)
+      specs
+  in
+  Mutex.unlock lock;
+  match claimed with
+  | [] -> ()
+  | _ -> (
+    (* One flat batch over every (scenario, seed) pair so the pool sees
+       the full width of the sweep, not one point's trials at a time. *)
+    let runs = List.concat_map (fun (_, s, t) -> trial_scenarios s t) claimed in
+    match Pool.map ?jobs Runner.run runs with
+    | all ->
+      Mutex.lock lock;
+      let rest = ref all in
+      List.iter
+        (fun (k, _, t) ->
+          let rec split n acc l =
+            if n = 0 then (List.rev acc, l)
+            else
+              match l with
+              | x :: tl -> split (n - 1) (x :: acc) tl
+              | [] -> assert false
+          in
+          let mine, tl = split t [] !rest in
+          rest := tl;
+          fill_done k mine)
+        claimed;
+      Condition.broadcast cond;
+      Mutex.unlock lock
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock lock;
+      List.iter (fun (k, _, _) -> drop_claim k) claimed;
+      Condition.broadcast cond;
+      Mutex.unlock lock;
+      Printexc.raise_with_backtrace e bt)
 
 let summary metric results =
   let stats = Stats.create () in
@@ -26,10 +125,21 @@ let summary metric results =
 let mean_of metric results = (summary metric results).Stats.mean
 let sd_of metric results = (summary metric results).Stats.stddev
 
-let point scenario ~trials ~x ~metric =
-  let r = results scenario ~trials in
+let point ?jobs scenario ~trials ~x ~metric =
+  let r = results ?jobs scenario ~trials in
   let s = summary metric r in
   { Figure.x; y = s.Stats.mean; sd = s.Stats.stddev }
 
-let clear_cache () = Hashtbl.reset cache
-let cache_size () = Hashtbl.length cache
+let clear_cache () =
+  Mutex.lock lock;
+  Hashtbl.reset cache;
+  (* Waiters blocked on a Computing marker must re-check: the marker is
+     gone, so they re-claim and recompute rather than wait forever. *)
+  Condition.broadcast cond;
+  Mutex.unlock lock
+
+let cache_size () =
+  Mutex.lock lock;
+  let n = Hashtbl.length cache in
+  Mutex.unlock lock;
+  n

@@ -123,6 +123,47 @@ let test_sweep_trials_distinct_seeds () =
   let msgs = List.map (fun r -> r.Runner.messages) results in
   checkb "not all identical" true (List.length (List.sort_uniq Int.compare msgs) > 1)
 
+let test_sweep_clear_cache () =
+  Sweep.clear_cache ();
+  let r1 = Sweep.results (tiny_scenario 1) ~trials:2 in
+  checkb "cache populated" true (Sweep.cache_size () > 0);
+  Sweep.clear_cache ();
+  checki "cache emptied" 0 (Sweep.cache_size ());
+  (* Recomputation builds a fresh list with identical (deterministic)
+     content. *)
+  let r2 = Sweep.results (tiny_scenario 1) ~trials:2 in
+  checkb "fresh list after clear" true (not (r1 == r2));
+  checkb "identical content" true (r1 = r2);
+  checki "one entry again" 1 (Sweep.cache_size ())
+
+let test_sweep_prefetch () =
+  Sweep.clear_cache ();
+  let a = tiny_scenario 1 and b = tiny_scenario 5 in
+  Sweep.prefetch [ (a, 2); (b, 2); (a, 2) ];
+  checki "two entries (duplicate spec collapsed)" 2 (Sweep.cache_size ());
+  let ra = Sweep.results a ~trials:2 in
+  checki "prefetch filled the cache" 2 (Sweep.cache_size ());
+  (* The prefetch-computed runs are what a direct call produces. *)
+  Sweep.clear_cache ();
+  checkb "same as direct computation" true (ra = Sweep.results a ~trials:2)
+
+let test_sweep_mean_sd () =
+  Sweep.clear_cache ();
+  let results = Sweep.results (tiny_scenario 3) ~trials:3 in
+  let metric r = float_of_int r.Runner.messages in
+  let values = List.map metric results in
+  let n = float_of_int (List.length values) in
+  let mean = List.fold_left ( +. ) 0.0 values /. n in
+  let var =
+    List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values /. (n -. 1.0)
+  in
+  checkf "mean over trials" mean (Sweep.mean_of metric results);
+  checkf "sample sd over trials" (sqrt var) (Sweep.sd_of metric results);
+  (* Degenerate case: a single trial has zero spread. *)
+  Sweep.clear_cache ();
+  let one = Sweep.results (tiny_scenario 3) ~trials:1 in
+  checkf "sd of one trial" 0.0 (Sweep.sd_of metric one)
+
 let test_sweep_point_stats () =
   Sweep.clear_cache ();
   let p =
@@ -203,6 +244,10 @@ let () =
           Alcotest.test_case "cache hits" `Quick test_sweep_cache_hits;
           Alcotest.test_case "trials use distinct seeds" `Quick
             test_sweep_trials_distinct_seeds;
+          Alcotest.test_case "clear empties and recompute matches" `Quick
+            test_sweep_clear_cache;
+          Alcotest.test_case "prefetch fills the cache" `Quick test_sweep_prefetch;
+          Alcotest.test_case "mean/sd over multi-trial runs" `Quick test_sweep_mean_sd;
           Alcotest.test_case "point stats" `Quick test_sweep_point_stats;
         ] );
       ( "figures",

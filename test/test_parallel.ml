@@ -1,0 +1,281 @@
+(* Determinism of the parallel trial fan-out.
+
+   The contract under test: every trial owns its seed, RNG and
+   scheduler, so [Sweep.results]/[Pool.map] return results that are
+   structurally identical whatever the job count, the submission order
+   or the domain that happened to run each trial — and the sweep cache
+   is domain-safe and single-flight under concurrent use. *)
+
+module Pool = Bgp_engine.Pool
+module Rng = Bgp_engine.Rng
+module Sweep = Bgp_experiments.Sweep
+module Runner = Bgp_netsim.Runner
+module Network = Bgp_netsim.Network
+module Config = Bgp_proto.Config
+module Degree_dist = Bgp_topology.Degree_dist
+module As_topology = Bgp_topology.As_topology
+module Topology = Bgp_topology.Topology
+module Graph = Bgp_topology.Graph
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- The three representative scenario classes -------------------------- *)
+
+(* Flat random topology (the paper's Waxman-placed degree-distribution
+   graphs), contiguous 10% router failure. *)
+let flat_scenario =
+  Runner.scenario
+    ~net:(Network.config_default Config.(with_mrai (Static 1.25) default))
+    ~failure:(Runner.Fraction 0.1) ~seed:3
+    (Runner.Flat { spec = Degree_dist.skewed_70_30; n = 24 })
+
+(* Realistic multi-router-per-AS topology (Fig 13 class). *)
+let realistic_scenario =
+  Runner.scenario
+    ~net:(Network.config_default Config.default)
+    ~failure:(Runner.Fraction 0.1) ~seed:5
+    (Runner.Realistic (As_topology.default ~n_ases:16))
+
+(* Link-failure Tdown on a fixed ring: sessions drop, routers stay up. *)
+let ring_topology n =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    Graph.add_edge g u ((u + 1) mod n)
+  done;
+  Topology.of_graph (Rng.create 99) g
+
+let link_failure_scenario =
+  Runner.scenario
+    ~net:(Network.config_default Config.(with_mrai (Static 2.0) default))
+    ~failure:(Runner.Links [ (0, 1); (3, 4) ])
+    ~seed:7
+    (Runner.Fixed (ring_topology 8))
+
+(* --- Field-by-field result equality -------------------------------------- *)
+
+let check_result_equal ~ctx i (a : Runner.result) (b : Runner.result) =
+  let tag field = Printf.sprintf "%s: trial %d: %s" ctx i field in
+  checkb (tag "converged") a.Runner.converged b.Runner.converged;
+  checkb (tag "convergence delay")
+    true (a.Runner.convergence_delay = b.Runner.convergence_delay);
+  checkb (tag "warmup delay") true (a.Runner.warmup_delay = b.Runner.warmup_delay);
+  checki (tag "messages") a.Runner.messages b.Runner.messages;
+  checki (tag "adverts") a.Runner.adverts b.Runner.adverts;
+  checki (tag "withdrawals") a.Runner.withdrawals b.Runner.withdrawals;
+  checki (tag "warmup messages") a.Runner.warmup_messages b.Runner.warmup_messages;
+  checki (tag "eliminated") a.Runner.eliminated b.Runner.eliminated;
+  checki (tag "max queue") a.Runner.max_queue b.Runner.max_queue;
+  checki (tag "mrai transitions") a.Runner.mrai_transitions b.Runner.mrai_transitions;
+  checki (tag "events") a.Runner.events b.Runner.events;
+  checkb (tag "survivors connected")
+    a.Runner.survivors_connected b.Runner.survivors_connected;
+  checkb (tag "issues") true (a.Runner.issues = b.Runner.issues)
+
+let check_results_equal ~ctx xs ys =
+  checki (ctx ^ ": result count") (List.length xs) (List.length ys);
+  List.iteri (fun i (a, b) -> check_result_equal ~ctx i a b) (List.combine xs ys)
+
+(* --- Golden determinism: jobs=4 == jobs=1 -------------------------------- *)
+
+let golden ctx scenario () =
+  Sweep.clear_cache ();
+  let seq = Sweep.results ~jobs:1 scenario ~trials:4 in
+  Sweep.clear_cache ();
+  let par = Sweep.results ~jobs:4 scenario ~trials:4 in
+  check_results_equal ~ctx seq par;
+  (* And against the raw runner, bypassing cache and pool entirely. *)
+  let raw =
+    List.init 4 (fun i -> Runner.run { scenario with Runner.seed = scenario.Runner.seed + i })
+  in
+  check_results_equal ~ctx:(ctx ^ " vs raw") raw par
+
+(* --- QCheck: job count and submission order don't matter ------------------ *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* n = int_range 8 16 in
+    let* seed = int_range 1 30 in
+    let* frac = oneofl [ 0.1; 0.2; 0.3 ] in
+    let* mrai = oneofl [ 0.5; 2.0 ] in
+    return
+      (Runner.scenario
+         ~net:(Network.config_default Config.(with_mrai (Static mrai) default))
+         ~failure:(Runner.Fraction frac) ~seed
+         (Runner.Flat { spec = Degree_dist.skewed_70_30; n })))
+
+let scenario_print (s : Runner.scenario) =
+  let n = match s.Runner.topo with Runner.Flat { n; _ } -> n | _ -> -1 in
+  let frac = match s.Runner.failure with Runner.Fraction f -> f | _ -> nan in
+  Printf.sprintf "{n=%d; seed=%d; frac=%g}" n s.Runner.seed frac
+
+let arb_scenario = QCheck.make ~print:scenario_print scenario_gen
+
+let prop_jobs_invariant =
+  QCheck.Test.make ~count:6 ~name:"Sweep.results independent of job count"
+    (QCheck.pair arb_scenario (QCheck.int_range 1 8))
+    (fun (scenario, jobs) ->
+      let trials = 3 in
+      let seq =
+        List.init trials (fun i ->
+            Runner.run { scenario with Runner.seed = scenario.Runner.seed + i })
+      in
+      Sweep.clear_cache ();
+      let par = Sweep.results ~jobs scenario ~trials in
+      seq = par)
+
+let prop_submission_order =
+  (* Permuting the submitted job list permutes the output identically:
+     the per-seed result multiset is independent of submission order. *)
+  QCheck.Test.make ~count:4 ~name:"Pool.map independent of submission order"
+    (QCheck.pair arb_scenario (QCheck.int_range 2 8))
+    (fun (scenario, jobs) ->
+      let seeds = List.init 4 (fun i -> scenario.Runner.seed + i) in
+      let run_seed seed = Runner.run { scenario with Runner.seed = seed } in
+      let forward = Pool.map ~jobs run_seed seeds in
+      let backward = Pool.map ~jobs run_seed (List.rev seeds) in
+      forward = List.rev backward)
+
+(* Pure-function sanity: Pool.map is List.map for any jobs. *)
+let prop_pool_is_map =
+  QCheck.Test.make ~count:50 ~name:"Pool.map f = List.map f"
+    (QCheck.pair (QCheck.list (QCheck.int_range 0 1000)) (QCheck.int_range 1 8))
+    (fun (xs, jobs) ->
+      let f x = (x * 7919) lxor (x lsl 3) in
+      Pool.map ~jobs f xs = List.map f xs)
+
+(* --- Cache concurrency ---------------------------------------------------- *)
+
+let tiny seed =
+  Runner.scenario
+    ~net:(Network.config_default Config.default)
+    ~failure:(Runner.Fraction 0.1) ~seed
+    (Runner.Flat { spec = Degree_dist.skewed_70_30; n = 12 })
+
+let test_single_flight () =
+  (* Six domains race for the same uncached key: exactly one simulates;
+     the rest must block and then share the very same result list. *)
+  Sweep.clear_cache ();
+  let scenario = tiny 11 in
+  let domains =
+    List.init 6 (fun _ -> Domain.spawn (fun () -> Sweep.results ~jobs:1 scenario ~trials:2))
+  in
+  let results = List.map Domain.join domains in
+  checki "one cache entry" 1 (Sweep.cache_size ());
+  match results with
+  | first :: rest ->
+    List.iter
+      (fun r -> checkb "physically shared (computed once)" true (r == first))
+      rest
+  | [] -> Alcotest.fail "no results"
+
+let test_cache_stress () =
+  (* Hammer results/clear_cache from concurrent domains: no crash, no
+     torn table, the table never holds more than the two live keys, and
+     every read returns one of the two deterministic golden values. *)
+  Sweep.clear_cache ();
+  let golden1 = Sweep.results ~jobs:1 (tiny 1) ~trials:2 in
+  Sweep.clear_cache ();
+  let golden2 = Sweep.results ~jobs:1 (tiny 2) ~trials:2 in
+  Sweep.clear_cache ();
+  let domains =
+    List.init 6 (fun d ->
+        Domain.spawn (fun () ->
+            let mine = ref [] in
+            for i = 1 to 8 do
+              if d = 0 && i mod 3 = 0 then Sweep.clear_cache ();
+              mine := Sweep.results ~jobs:2 (tiny (1 + (i mod 2))) ~trials:2 :: !mine
+            done;
+            !mine))
+  in
+  let reads = List.concat_map Domain.join domains in
+  checkb "cache holds at most the two live keys" true (Sweep.cache_size () <= 2);
+  checki "all reads returned" 48 (List.length reads);
+  List.iter
+    (fun r ->
+      checkb "every read is one of the two golden values" true
+        (r = golden1 || r = golden2))
+    reads;
+  (* After the dust settles a fresh lookup still returns the golden value. *)
+  let again = Sweep.results ~jobs:4 (tiny 1) ~trials:2 in
+  check_results_equal ~ctx:"post-stress" golden1 again
+
+(* --- Pool unit tests ------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_pool_empty () =
+  checkb "empty in, empty out" true (Pool.map ~jobs:4 (fun x -> x * 2) [] = [])
+
+let test_pool_one () =
+  checkb "single job" true (Pool.map ~jobs:4 (fun x -> x + 1) [ 41 ] = [ 42 ])
+
+let test_pool_more_jobs_than_work () =
+  checkb "jobs > queue" true
+    (Pool.map ~jobs:8 (fun x -> x * x) [ 1; 2; 3 ] = [ 1; 4; 9 ])
+
+let test_pool_default_jobs () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 3;
+  checki "default set" 3 (Pool.default_jobs ());
+  checkb "map honours default" true (Pool.map (fun x -> -x) [ 1; 2 ] = [ -1; -2 ]);
+  Pool.set_default_jobs saved;
+  checkb "zero jobs rejected" true
+    (try
+       Pool.set_default_jobs 0;
+       false
+     with Invalid_argument _ -> true);
+  checkb "map rejects jobs=0" true
+    (try
+       ignore (Pool.map ~jobs:0 Fun.id [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_exception () =
+  (* The exception is re-raised in the caller; with several raising jobs
+     the one with the lowest input index wins, deterministically. *)
+  Alcotest.check_raises "re-raised in caller" (Boom 5) (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x >= 5 then raise (Boom x) else x)
+           [ 1; 2; 3; 4; 5; 6; 7; 8 ]));
+  for _ = 1 to 10 do
+    (match Pool.map ~jobs:4 (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+             [ 1; 2; 3; 4; 5; 6 ]
+     with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom x -> checki "lowest raising index" 3 x)
+  done;
+  (* The pool shut down cleanly: domains were joined, later maps work. *)
+  checkb "pool alive after failure" true
+    (Pool.map ~jobs:4 (fun x -> x + 1) [ 1; 2; 3; 4 ] = [ 2; 3; 4; 5 ])
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "golden determinism (jobs=4 == jobs=1)",
+        [
+          Alcotest.test_case "flat 70-30, 10% failure" `Quick
+            (golden "flat" flat_scenario);
+          Alcotest.test_case "realistic (Fig 13 class)" `Quick
+            (golden "realistic" realistic_scenario);
+          Alcotest.test_case "link-failure Tdown ring" `Quick
+            (golden "tdown" link_failure_scenario);
+        ] );
+      ( "properties",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_jobs_invariant; prop_submission_order; prop_pool_is_map ] );
+      ( "cache concurrency",
+        [
+          Alcotest.test_case "single flight" `Quick test_single_flight;
+          Alcotest.test_case "clear/results stress" `Quick test_cache_stress;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "empty job list" `Quick test_pool_empty;
+          Alcotest.test_case "one job" `Quick test_pool_one;
+          Alcotest.test_case "jobs > queue" `Quick test_pool_more_jobs_than_work;
+          Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+          Alcotest.test_case "raising job" `Quick test_pool_exception;
+        ] );
+    ]
