@@ -32,6 +32,7 @@ module Scenarios = Bgp_experiments.Scenarios
 module Verdicts = Bgp_experiments.Verdicts
 
 module Ablations = Bgp_experiments.Ablations
+module Bench_report = Bgp_experiments.Bench_report
 module Pool = Bgp_engine.Pool
 
 type mode = {
@@ -41,6 +42,7 @@ type mode = {
   figs : bool;
   ablations : bool;
   csv_dir : string option;
+  bench_json : string option;
 }
 
 let parse_args () =
@@ -51,6 +53,7 @@ let parse_args () =
   let figs = ref true in
   let ablations = ref true in
   let csv_dir = ref None in
+  let bench_json = ref None in
   let rec loop = function
     | [] -> ()
     | "--full" :: rest ->
@@ -80,6 +83,9 @@ let parse_args () =
     | "--csv-dir" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
+    | "--bench-json" :: path :: rest ->
+      bench_json := Some path;
+      loop rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some j when j >= 1 -> Pool.set_default_jobs j
@@ -103,6 +109,7 @@ let parse_args () =
     figs = !figs;
     ablations;
     csv_dir = !csv_dir;
+    bench_json = !bench_json;
   }
 
 (* --- Figure regeneration ------------------------------------------------ *)
@@ -133,7 +140,7 @@ let select_figures ids =
     let wanted = List.map normalize_figure_id ids in
     List.filter (fun (name, _) -> List.mem name wanted) Figures.all
 
-let run_figures mode =
+let run_figures mode report =
   let selected = select_figures mode.figures in
   (match mode.figures with
   | [] -> ()
@@ -148,18 +155,25 @@ let run_figures mode =
       Pool.reset_stats ();
       let fig = make mode.opts in
       let pool = Pool.stats () in
+      let wall = Unix.gettimeofday () -. t0 in
       Fmt.pr "@.%a" Figure.pp fig;
       Fmt.pr "%a" Figure.pp_chart fig;
       let verdicts = Verdicts.check fig in
+      let pass = List.length (List.filter (fun v -> v.Verdicts.holds) verdicts) in
       List.iter
         (fun v ->
           incr total;
           if v.Verdicts.holds then incr total_pass;
           Fmt.pr "  %a@." Verdicts.pp_verdict v)
         verdicts;
-      Fmt.pr "  (%.1f s wall, %a)@."
-        (Unix.gettimeofday () -. t0)
-        pp_pool_speedup pool;
+      Fmt.pr "  (%.1f s wall, %a)@." wall pp_pool_speedup pool;
+      Option.iter
+        (fun r ->
+          Bench_report.add r
+            (Bench_report.entry ~id ~title:fig.Figure.title ~kind:"figure" ~wall ~pool
+               ~per_domain:(Pool.last_batch ()) ~verdicts_pass:pass
+               ~verdicts_total:(List.length verdicts)))
+        report;
       match mode.csv_dir with
       | None -> ()
       | Some dir ->
@@ -172,7 +186,7 @@ let run_figures mode =
     selected;
   Fmt.pr "@.shape verdicts: %d/%d hold@." !total_pass !total
 
-let run_ablations mode =
+let run_ablations mode report =
   Fmt.pr "@.=== ablations (design-choice studies beyond the paper's figures) ===@.";
   List.iter
     (fun (name, make) ->
@@ -180,11 +194,16 @@ let run_ablations mode =
       Pool.reset_stats ();
       let fig = make mode.opts in
       let pool = Pool.stats () in
+      let wall = Unix.gettimeofday () -. t0 in
       Fmt.pr "@.%a" Figure.pp fig;
       Fmt.pr "%a" Figure.pp_chart fig;
-      Fmt.pr "  (%s, %.1f s wall, %a)@." name
-        (Unix.gettimeofday () -. t0)
-        pp_pool_speedup pool)
+      Fmt.pr "  (%s, %.1f s wall, %a)@." name wall pp_pool_speedup pool;
+      Option.iter
+        (fun r ->
+          Bench_report.add r
+            (Bench_report.entry ~id:name ~title:fig.Figure.title ~kind:"ablation" ~wall
+               ~pool ~per_domain:(Pool.last_batch ()) ~verdicts_pass:0 ~verdicts_total:0))
+        report)
     Ablations.all
 
 (* --- Micro-benchmarks ---------------------------------------------------- *)
@@ -330,6 +349,18 @@ let () =
     "BGP convergence benchmark harness (%d trials/point, %d-node flat topologies, %d \
      jobs)@."
     mode.opts.Scenarios.trials mode.opts.Scenarios.n (Pool.default_jobs ());
-  if mode.figs then run_figures mode;
-  if mode.ablations then run_ablations mode;
-  if mode.micro then run_micro ()
+  let report =
+    Option.map
+      (fun _ ->
+        Bench_report.create ~trials:mode.opts.Scenarios.trials ~n:mode.opts.Scenarios.n
+          ~jobs:(Pool.default_jobs ()))
+      mode.bench_json
+  in
+  if mode.figs then run_figures mode report;
+  if mode.ablations then run_ablations mode report;
+  if mode.micro then run_micro ();
+  match (mode.bench_json, report) with
+  | Some path, Some r ->
+    Bench_report.write r path;
+    Fmt.pr "@.wrote %s (%d entries)@." path (List.length (Bench_report.entries r))
+  | _ -> ()

@@ -38,7 +38,7 @@ let scheme_of ~name ~mrai ~low ~high ~up_th ~down_th =
 
 let run nodes realistic spec_name failure seed trials jobs scheme_name mrai low high
     up_th down_th batching tcp_batch per_dest bypass_name damping policies analytic
-    hold_time trace_n validate quiet =
+    hold_time trace_n probe_interval telemetry_dir validate quiet =
   if jobs < 0 then begin
     Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
     exit 1
@@ -85,8 +85,16 @@ let run nodes realistic spec_name failure seed trials jobs scheme_name mrai low 
       let trace =
         match trace_n with None -> None | Some _ -> Some (Bgp_netsim.Trace.create ())
       in
+      (* Telemetry is a per-run spec (each trial builds its own instance),
+         so unlike the trace it composes with any trial/job count. *)
+      let telemetry =
+        match (probe_interval, telemetry_dir) with
+        | None, None -> None
+        | interval, _ ->
+          Some (Bgp_netsim.Telemetry.config ?probe_interval:interval ())
+      in
       let net_config =
-        let base = { (Network.config_default config) with Network.trace } in
+        let base = { (Network.config_default config) with Network.telemetry = telemetry } in
         match hold_time with
         | None -> base
         | Some hold_time ->
@@ -108,15 +116,23 @@ let run nodes realistic spec_name failure seed trials jobs scheme_name mrai low 
       (* Trials are independent (one seed, RNG and scheduler each), so
          they fan out over a domain pool; results are identical to the
          sequential order for any job count.  A shared trace buffer is
-         the one cross-trial object, so tracing forces one job. *)
+         the one cross-trial object, so tracing attaches to the first
+         trial only and forces one job. *)
       let jobs =
         match trace with
-        | Some _ -> 1
+        | Some _ ->
+          if jobs <> 1 && not quiet then
+            Fmt.epr "note: --trace forces --jobs 1 (trace attaches to the first trial)@.";
+          1
         | None -> if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs
       in
       let results =
         Bgp_engine.Pool.map ~jobs Runner.run
-          (List.init trials (fun i -> { scenario with Runner.seed = seed + i }))
+          (List.init trials (fun i ->
+               let net =
+                 if i = 0 then { net_config with Network.trace } else net_config
+               in
+               { scenario with Runner.seed = seed + i; Runner.net = net }))
       in
       List.iteri
         (fun i r ->
@@ -129,12 +145,17 @@ let run nodes realistic spec_name failure seed trials jobs scheme_name mrai low 
               (fun i -> Fmt.epr "invariant: %a@." Bgp_netsim.Validate.pp_issue i)
               r.Runner.issues
           end;
-          if not quiet then
+          if not quiet then begin
             Fmt.pr
               "seed %3d: delay %8.2f s, %7d msgs (%d adverts, %d withdrawals), peak \
                queue %d, eliminated %d@."
               (seed + i) r.Runner.convergence_delay r.Runner.messages r.Runner.adverts
-              r.Runner.withdrawals r.Runner.max_queue r.Runner.eliminated)
+              r.Runner.withdrawals r.Runner.max_queue r.Runner.eliminated;
+            Option.iter
+              (fun rep ->
+                Fmt.pr "          telemetry: %a@." Bgp_netsim.Telemetry.pp_summary rep)
+              r.Runner.report
+          end)
         results;
       Fmt.pr "convergence delay: %a@." Bgp_engine.Stats.pp_summary
         (Bgp_engine.Stats.summarize delays);
@@ -152,6 +173,20 @@ let run nodes realistic spec_name failure seed trials jobs scheme_name mrai low 
             if i < 10 then Fmt.pr "  router %3d: %d updates@." router count)
           (Bgp_netsim.Trace.sends_by_router trace)
       | _ -> ());
+      (match telemetry_dir with
+      | None -> ()
+      | Some dir ->
+        List.iteri
+          (fun i r ->
+            Option.iter
+              (fun rep ->
+                let prefix = Printf.sprintf "seed%d_" (seed + i) in
+                let paths = Bgp_netsim.Telemetry.export ~dir ~prefix rep in
+                if not quiet then
+                  Fmt.pr "wrote %d telemetry files to %s (prefix %s)@."
+                    (List.length paths) dir prefix)
+              r.Runner.report)
+          results);
       if !ok then 0 else 1)
 
 let nodes =
@@ -220,7 +255,27 @@ let per_dest =
 
 let trace_n =
   Arg.(value & opt (some int) None
-       & info [ "trace" ] ~docv:"N" ~doc:"Record an event trace and print the last N events.")
+       & info [ "trace" ] ~docv:"N"
+           ~doc:"Record an event trace and print the last N events.  The trace \
+                 attaches to the first trial only (other trials run untraced) and \
+                 forces --jobs 1; it composes with --probe-interval on multi-trial \
+                 runs.")
+
+let probe_interval =
+  Arg.(value & opt (some float) None
+       & info [ "probe-interval" ] ~docv:"SECONDS"
+           ~doc:"Enable the telemetry layer: probe every router's queue length, \
+                 unfinished work, MRAI level and RIB size every SECONDS of simulated \
+                 time (plus a counter registry).  Telemetry is per-trial, so it \
+                 composes with any --trials/--jobs count.")
+
+let telemetry_dir =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry-dir" ] ~docv:"DIR"
+           ~doc:"Export each trial's telemetry (series/progress/counters as CSV, \
+                 JSONL and a report.json) into DIR, one seedN_ prefix per trial.  \
+                 Implies telemetry at the default 0.5 s probe interval unless \
+                 --probe-interval is given.")
 
 let validate =
   Arg.(value & flag & info [ "validate" ] ~doc:"Check routing invariants after each phase.")
@@ -235,6 +290,6 @@ let cmd =
       const run $ nodes $ realistic $ spec_name $ failure $ seed $ trials $ jobs
       $ scheme_name $ mrai $ low $ high $ up_th $ down_th $ batching $ tcp_batch
       $ per_dest $ bypass_name $ damping $ policies $ analytic $ hold_time $ trace_n
-      $ validate $ quiet)
+      $ probe_interval $ telemetry_dir $ validate $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -108,6 +108,8 @@ let best_path t dest =
   | Some Local -> Some []
   | Some (Learned e) -> Some e.path
 
+let loc_size t = Hashtbl.length t.loc_rib
+
 let dests t =
   let seen = Hashtbl.create 256 in
   Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.rib_in;

@@ -64,6 +64,10 @@ val ibgp_exportable : best -> bool
 val dests : t -> dest list
 (** All destinations with any Adj-RIB-In or Loc-RIB state. *)
 
+val loc_size : t -> int
+(** Destinations with a current Loc-RIB selection — the "RIB size" the
+    telemetry probes sample.  O(1). *)
+
 val rank : best -> int * int * int * int
 (** Ranking key (preference class, path length, eBGP-over-iBGP, peer id;
     lower is better); exposed for property tests and the analytic

@@ -62,6 +62,7 @@ type t = {
   mutable withdrawals_sent : int;
   mutable msgs_processed : int;
   mutable max_unfinished_work : float;
+  mutable rib_changes : int;  (* export-relevant Loc-RIB revisions *)
 }
 
 let create ~sched ~rng ~config ~id ~asn ~degree cb =
@@ -93,6 +94,7 @@ let create ~sched ~rng ~config ~id ~asn ~degree cb =
     withdrawals_sent = 0;
     msgs_processed = 0;
     max_unfinished_work = 0.0;
+    rib_changes = 0;
   }
 
 let id t = t.id
@@ -367,6 +369,7 @@ let rearm_running_timers t =
 
 let reconsider t dest =
   if Rib.decide t.rib dest then begin
+    t.rib_changes <- t.rib_changes + 1;
     activity t;
     List.iter
       (fun pid -> schedule_export t (Hashtbl.find t.peers pid) dest)
@@ -545,6 +548,13 @@ let fail t =
 
 let best_path_to t dest = Rib.best_path t.rib dest
 let max_unfinished_work t = t.max_unfinished_work
+
+(* Point-in-time probe readouts (telemetry samplers). *)
+let unfinished_work t = float_of_int (Iq.length t.input) *. t.mean_proc
+let mrai_level t = Mrai.level t.ebgp_controller
+let mrai_transitions t = Mrai.transitions t.ebgp_controller
+let rib_size t = Rib.loc_size t.rib
+let rib_changes t = t.rib_changes
 
 let next_hop t dest =
   match Rib.best t.rib dest with

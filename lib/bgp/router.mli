@@ -108,6 +108,30 @@ val max_unfinished_work : t -> float
     the overload signal of the paper's dynamic scheme (Section 4.3).  A
     router whose value exceeded upTh was overloaded at some point. *)
 
+(** {2 Point-in-time probe readouts}
+
+    Cheap O(1) samplers for the telemetry layer: the {e current} value of
+    the signals the paper's mechanisms key on, as opposed to the
+    end-of-run aggregates in {!metrics}. *)
+
+val unfinished_work : t -> float
+(** Current queue length x mean processing delay, in seconds (the
+    dynamic scheme's instantaneous overload signal). *)
+
+val mrai_level : t -> int
+(** Current level of the eBGP MRAI controller (0 for static schemes). *)
+
+val mrai_transitions : t -> int
+(** Cumulative level changes of the eBGP MRAI controller. *)
+
+val rib_size : t -> int
+(** Destinations with a current Loc-RIB selection. *)
+
+val rib_changes : t -> int
+(** Cumulative export-relevant Loc-RIB revisions.  A router whose count
+    has reached its end-of-run value holds its final best routes — the
+    basis of the telemetry convergence-progress series. *)
+
 type metrics = {
   adverts_sent : int;
   withdrawals_sent : int;

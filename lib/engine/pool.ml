@@ -14,12 +14,21 @@ let default_jobs () =
   | 0 -> Domain.recommended_domain_count ()
   | n -> n
 
-type stats = { busy : float; wall : float; jobs_run : int; batches : int }
+type domain_stat = { domain : int; jobs : int; busy : float; wait : float }
+
+type stats = {
+  busy : float;
+  wall : float;
+  jobs_run : int;
+  batches : int;
+  queue_wait : float;
+}
 
 let stats_lock = Mutex.create ()
-let stats_acc = ref { busy = 0.0; wall = 0.0; jobs_run = 0; batches = 0 }
+let stats_acc = ref { busy = 0.0; wall = 0.0; jobs_run = 0; batches = 0; queue_wait = 0.0 }
+let last_batch_acc : domain_stat list ref = ref []
 
-let add_stats ~busy ~wall ~jobs_run =
+let add_stats ~busy ~wall ~jobs_run ~queue_wait ~per_domain =
   Mutex.lock stats_lock;
   let s = !stats_acc in
   stats_acc :=
@@ -28,7 +37,9 @@ let add_stats ~busy ~wall ~jobs_run =
       wall = s.wall +. wall;
       jobs_run = s.jobs_run + jobs_run;
       batches = s.batches + 1;
+      queue_wait = s.queue_wait +. queue_wait;
     };
+  last_batch_acc := per_domain;
   Mutex.unlock stats_lock
 
 let stats () =
@@ -37,9 +48,16 @@ let stats () =
   Mutex.unlock stats_lock;
   s
 
+let last_batch () =
+  Mutex.lock stats_lock;
+  let b = !last_batch_acc in
+  Mutex.unlock stats_lock;
+  b
+
 let reset_stats () =
   Mutex.lock stats_lock;
-  stats_acc := { busy = 0.0; wall = 0.0; jobs_run = 0; batches = 0 };
+  stats_acc := { busy = 0.0; wall = 0.0; jobs_run = 0; batches = 0; queue_wait = 0.0 };
+  last_batch_acc := [];
   Mutex.unlock stats_lock
 
 let now = Unix.gettimeofday
@@ -70,20 +88,22 @@ let record_failure fl i e bt =
   | _ -> fl.err <- Some (i, e, bt));
   Mutex.unlock fl.fm
 
-(* [busy] is process CPU time, which aggregates every domain's work, so
-   [busy /. wall] is an honest speedup estimate: ~1 on a saturated
-   single core however many domains run, ~jobs on idle hardware. *)
-let with_batch_stats ~jobs_run body =
+let sequential_map f xs =
+  let n = List.length xs in
   let t0 = now () in
   let c0 = Sys.time () in
   Fun.protect
     ~finally:(fun () ->
-      add_stats ~busy:(Sys.time () -. c0) ~wall:(now () -. t0) ~jobs_run)
-    body
+      let wall = now () -. t0 in
+      add_stats ~busy:(Sys.time () -. c0) ~wall ~jobs_run:n ~queue_wait:0.0
+        ~per_domain:[ { domain = 0; jobs = n; busy = wall; wait = 0.0 } ])
+    (fun () -> List.map f xs)
 
-let sequential_map f xs =
-  with_batch_stats ~jobs_run:(List.length xs) (fun () -> List.map f xs)
-
+(* [busy] is process CPU time, which aggregates every domain's work, so
+   [busy /. wall] is an honest speedup estimate: ~1 on a saturated
+   single core however many domains run, ~jobs on idle hardware.  The
+   per-domain breakdown is wall-clock based: each worker times its own
+   job executions ([busy]) and its waits on the work deque ([wait]). *)
 let map ?jobs f xs =
   let jobs =
     match jobs with
@@ -93,34 +113,54 @@ let map ?jobs f xs =
   in
   let n = List.length xs in
   if jobs = 1 || n <= 1 then sequential_map f xs
-  else
-    with_batch_stats ~jobs_run:n (fun () ->
+  else begin
+    let nworkers = min jobs n in
+    let w_jobs = Array.make nworkers 0 in
+    let w_busy = Array.make nworkers 0.0 in
+    let w_wait = Array.make nworkers 0.0 in
+    let t0 = now () in
+    let c0 = Sys.time () in
+    Fun.protect
+      ~finally:(fun () ->
+        add_stats ~busy:(Sys.time () -. c0) ~wall:(now () -. t0) ~jobs_run:n
+          ~queue_wait:(Array.fold_left ( +. ) 0.0 w_wait)
+          ~per_domain:
+            (List.init nworkers (fun w ->
+                 { domain = w; jobs = w_jobs.(w); busy = w_busy.(w); wait = w_wait.(w) })))
+      (fun () ->
         let input = Array.of_list xs in
         let results = Array.make n None in
         let queue = { m = Mutex.create (); items = List.init n Fun.id } in
         let failed = { fm = Mutex.create (); err = None } in
-        let worker () =
+        let worker w () =
           (* Every job runs even after a failure elsewhere: that keeps
              the re-raised exception deterministic (lowest input index)
              instead of depending on which domain noticed a flag first. *)
           let rec loop () =
-            match take queue with
+            let t_take = now () in
+            let next = take queue in
+            w_wait.(w) <- w_wait.(w) +. (now () -. t_take);
+            match next with
             | None -> ()
             | Some i ->
+              let t_job = now () in
               (match f input.(i) with
               | y -> results.(i) <- Some y
               | exception e ->
                 let bt = Printexc.get_raw_backtrace () in
                 record_failure failed i e bt);
+              w_busy.(w) <- w_busy.(w) +. (now () -. t_job);
+              w_jobs.(w) <- w_jobs.(w) + 1;
               loop ()
           in
           loop ()
         in
-        let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
+        let domains = List.init (nworkers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+        worker 0 ();
         List.iter Domain.join domains;
         match failed.err with
         | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
         | None ->
           Array.to_list
             (Array.map (function Some y -> y | None -> assert false) results))
+  end

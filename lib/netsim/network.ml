@@ -15,6 +15,7 @@ type config = {
   detection : detection;
   relationships : Relationships.t option;
   trace : Trace.t option;
+  telemetry : Telemetry.config option;
 }
 
 let config_default bgp =
@@ -25,6 +26,7 @@ let config_default bgp =
     detection = Link_signal;
     relationships = None;
     trace = None;
+    telemetry = None;
   }
 
 type t = {
@@ -38,6 +40,7 @@ type t = {
   session_peers : int list array;  (* BGP session neighbours of each router *)
   mutable n_adverts : int;
   mutable n_withdrawals : int;
+  mutable n_session_downs : int;
   mutable last_activity : float;
 }
 
@@ -61,7 +64,37 @@ let compute_sessions topo =
   done;
   List.rev !acc
 
-let build ~sched ~rng ~config topo =
+let sum_metrics t =
+  let zero =
+    {
+      Router.adverts_sent = 0;
+      withdrawals_sent = 0;
+      msgs_processed = 0;
+      eliminated = 0;
+      max_queue = 0;
+      mrai_transitions = 0;
+      mrai_level = 0;
+      damping_suppressions = 0;
+    }
+  in
+  Array.fold_left
+    (fun (acc : Router.metrics) router ->
+      if Router.is_failed router then acc
+      else
+        let m = Router.metrics router in
+        {
+          Router.adverts_sent = acc.adverts_sent + m.adverts_sent;
+          withdrawals_sent = acc.withdrawals_sent + m.withdrawals_sent;
+          msgs_processed = acc.msgs_processed + m.msgs_processed;
+          eliminated = acc.eliminated + m.eliminated;
+          max_queue = Stdlib.max acc.max_queue m.max_queue;
+          mrai_transitions = acc.mrai_transitions + m.mrai_transitions;
+          mrai_level = Stdlib.max acc.mrai_level m.mrai_level;
+          damping_suppressions = acc.damping_suppressions + m.damping_suppressions;
+        })
+    zero t.routers
+
+let build ~sched ~rng ~config ?telemetry topo =
   let n = Topology.num_routers topo in
   let sessions = compute_sessions topo in
   let session_peers = Array.make n [] in
@@ -83,6 +116,7 @@ let build ~sched ~rng ~config topo =
       session_peers;
       n_adverts = 0;
       n_withdrawals = 0;
+      n_session_downs = 0;
       last_activity = 0.0;
     }
   in
@@ -140,6 +174,39 @@ let build ~sched ~rng ~config topo =
       Router.add_peer routers.(v) ~peer:u ~peer_as:topo.Topology.as_of_router.(u) ~kind
         ?relationship:(rel_of v u) ())
     sessions;
+  (* Getter-backed metrics: registration stores one closure per name and
+     reads happen only at snapshot time, so a registered-but-unread
+     counter costs nothing during the run.  The closures read [!net],
+     which aliases the record returned below. *)
+  (match telemetry with
+  | None -> ()
+  | Some tele ->
+    let reg name kind read = Telemetry.register tele ~name ~kind read in
+    let sum m = float_of_int (m ()) in
+    reg "net.adverts_sent" Telemetry.Counter (fun () -> sum (fun () -> !net.n_adverts));
+    reg "net.withdrawals_sent" Telemetry.Counter (fun () ->
+        sum (fun () -> !net.n_withdrawals));
+    reg "net.messages_sent" Telemetry.Counter (fun () ->
+        sum (fun () -> !net.n_adverts + !net.n_withdrawals));
+    reg "net.session_downs" Telemetry.Counter (fun () ->
+        sum (fun () -> !net.n_session_downs));
+    let router_metric name kind pick =
+      reg name kind (fun () ->
+          let m = sum_metrics !net in
+          float_of_int (pick m))
+    in
+    router_metric "router.msgs_processed" Telemetry.Counter (fun m ->
+        m.Router.msgs_processed);
+    router_metric "queue.eliminated" Telemetry.Counter (fun m -> m.Router.eliminated);
+    router_metric "queue.max_depth" Telemetry.Gauge (fun m -> m.Router.max_queue);
+    router_metric "mrai.transitions" Telemetry.Counter (fun m ->
+        m.Router.mrai_transitions);
+    router_metric "mrai.max_level" Telemetry.Gauge (fun m -> m.Router.mrai_level);
+    router_metric "damping.suppressions" Telemetry.Counter (fun m ->
+        m.Router.damping_suppressions);
+    reg "sched.events" Telemetry.Gauge (fun () ->
+        float_of_int (Sched.events_executed sched));
+    reg "sched.time" Telemetry.Gauge (fun () -> Sched.now sched));
   !net
 
 let topology t = t.topo
@@ -188,6 +255,7 @@ let inject_failure t failure =
             ignore
               (Sched.schedule t.sched ~delay:(detection_sample ()) (fun () ->
                    if not t.failed.(peer) then begin
+                     t.n_session_downs <- t.n_session_downs + 1;
                      (match t.config.trace with
                      | Some trace ->
                        Trace.record trace
@@ -207,6 +275,7 @@ let inject_link_failures t links =
           ignore
             (Sched.schedule t.sched ~delay:t.config.detection_delay (fun () ->
                  if not t.failed.(a) then begin
+                   t.n_session_downs <- t.n_session_downs + 1;
                    (match t.config.trace with
                    | Some trace ->
                      Trace.record trace
@@ -224,7 +293,45 @@ let is_failed t r = t.failed.(r)
 let messages_sent t = t.n_adverts + t.n_withdrawals
 let adverts_sent t = t.n_adverts
 let withdrawals_sent t = t.n_withdrawals
+let session_downs t = t.n_session_downs
 let last_activity t = t.last_activity
+
+(* --- Telemetry probes ---------------------------------------------------- *)
+
+let probe_tick t tele =
+  let rows = ref [] in
+  for r = Array.length t.routers - 1 downto 0 do
+    if not t.failed.(r) then begin
+      let router = t.routers.(r) in
+      rows :=
+        {
+          Telemetry.router = r;
+          queue_len = Router.queue_length router;
+          unfinished_work = Router.unfinished_work router;
+          mrai_level = Router.mrai_level router;
+          mrai_transitions = Router.mrai_transitions router;
+          rib_size = Router.rib_size router;
+          rib_changes = Router.rib_changes router;
+        }
+        :: !rows
+    end
+  done;
+  Telemetry.record_tick tele ~time:(Sched.now t.sched) (Array.of_list !rows)
+
+let start_probes t tele =
+  let interval = (Telemetry.conf tele).Telemetry.probe_interval in
+  (* Each probe re-arms only while other work remains: [Sched.step]
+     removes the running event before its callback executes, so a probe
+     firing into an otherwise-empty queue sees [pending = 0], records a
+     final tick and stops — the queue drains and the runner's
+     [converged = pending = 0] check is unaffected. *)
+  let rec arm () =
+    ignore
+      (Sched.schedule t.sched ~delay:interval (fun () ->
+           probe_tick t tele;
+           if Sched.pending t.sched > 0 then arm ()))
+  in
+  arm ()
 
 let overloaded_routers t ~threshold =
   let acc = ref [] in
@@ -234,32 +341,3 @@ let overloaded_routers t ~threshold =
   done;
   !acc
 
-let sum_metrics t =
-  let zero =
-    {
-      Router.adverts_sent = 0;
-      withdrawals_sent = 0;
-      msgs_processed = 0;
-      eliminated = 0;
-      max_queue = 0;
-      mrai_transitions = 0;
-      mrai_level = 0;
-      damping_suppressions = 0;
-    }
-  in
-  Array.fold_left
-    (fun (acc : Router.metrics) router ->
-      if Router.is_failed router then acc
-      else
-        let m = Router.metrics router in
-        {
-          Router.adverts_sent = acc.adverts_sent + m.adverts_sent;
-          withdrawals_sent = acc.withdrawals_sent + m.withdrawals_sent;
-          msgs_processed = acc.msgs_processed + m.msgs_processed;
-          eliminated = acc.eliminated + m.eliminated;
-          max_queue = Stdlib.max acc.max_queue m.max_queue;
-          mrai_transitions = acc.mrai_transitions + m.mrai_transitions;
-          mrai_level = Stdlib.max acc.mrai_level m.mrai_level;
-          damping_suppressions = acc.damping_suppressions + m.damping_suppressions;
-        })
-    zero t.routers

@@ -26,10 +26,13 @@ type config = {
       (** Gao-Rexford policies on eBGP sessions; [None] (default) is the
           paper's policy-free operation *)
   trace : Trace.t option;  (** record message/failure events when set *)
+  telemetry : Telemetry.config option;
+      (** enable the telemetry layer (probes + counter registry); [None]
+          (default) is zero-cost — see {!Telemetry} *)
 }
 
 val config_default : Bgp_proto.Config.t -> config
-(** [Link_signal] detection, 25 ms links, no policies. *)
+(** [Link_signal] detection, 25 ms links, no policies, no telemetry. *)
 
 type t
 
@@ -37,8 +40,13 @@ val build :
   sched:Bgp_engine.Scheduler.t ->
   rng:Bgp_engine.Rng.t ->
   config:config ->
+  ?telemetry:Telemetry.t ->
   Bgp_topology.Topology.t ->
   t
+(** [telemetry] is the per-run instance the network registers its
+    getter-backed counters into ([net.*], [router.*], [queue.*],
+    [mrai.*], [damping.*], [sched.*]); created and threaded by
+    {!Runner.run} when [config.telemetry] is set. *)
 
 val topology : t -> Bgp_topology.Topology.t
 val bgp_config : t -> Bgp_proto.Config.t
@@ -72,6 +80,9 @@ val messages_sent : t -> int
 val adverts_sent : t -> int
 val withdrawals_sent : t -> int
 
+val session_downs : t -> int
+(** Session-down notifications delivered to surviving routers. *)
+
 val last_activity : t -> float
 (** Simulated time of the last route-affecting action anywhere. *)
 
@@ -83,3 +94,17 @@ val overloaded_routers : t -> threshold:float -> int list
 (** Routers whose unfinished work ever exceeded [threshold] seconds —
     the paper's Section 4.1 explanation of the V-curve is that these are
     predominantly the high-degree nodes. *)
+
+(** {2 Telemetry probes} *)
+
+val probe_tick : t -> Telemetry.t -> unit
+(** Record one probe tick: a {!Telemetry.row} per surviving router at the
+    current simulated time.  Read-only — draws no randomness and
+    schedules nothing. *)
+
+val start_probes : t -> Telemetry.t -> unit
+(** Begin the periodic probe chain at the configured interval.  Each
+    probe re-arms only while other events remain pending, so the chain
+    never keeps the scheduler queue alive: the queue still drains at
+    convergence and the runner's converged-iff-drained check is
+    unaffected (the executed-events count does grow). *)

@@ -49,6 +49,7 @@ type result = {
   events : int;
   survivors_connected : bool;
   issues : Validate.issue list;
+  report : Telemetry.report option;
 }
 
 let make_topology rng = function
@@ -75,12 +76,19 @@ let run s =
       { s.net with Network.relationships = Some (Relationships.infer topo) }
     else s.net
   in
-  let net = Network.build ~sched ~rng:rng_net ~config:net_config topo in
+  (* Telemetry lives per run: the config only carries the spec, the
+     instance (and hence all recorded state) is private to this trial. *)
+  let tele = Option.map Telemetry.create net_config.Network.telemetry in
+  let net = Network.build ~sched ~rng:rng_net ~config:net_config ?telemetry:tele topo in
   (* Phase 1: reach steady state — by cold-start simulation (as in the
      paper) or by direct analytic construction. *)
   (match s.warmup with
   | Simulated ->
     Network.start_all net;
+    (match tele with
+    | Some t when (Telemetry.conf t).Telemetry.probe_warmup ->
+      Network.start_probes net t
+    | Some _ | None -> ());
     Sched.run ~until:s.sim_time_cap sched
   | Analytic ->
     if s.policies then
@@ -99,9 +107,17 @@ let run s =
   ignore
     (Sched.schedule_at sched ~time:t_fail (fun () ->
          Network.inject_failure net failure;
-         match s.failure with
+         (match s.failure with
          | Links links -> Network.inject_link_failures net links
-         | Fraction _ | Routers _ | No_failure -> ()));
+         | Fraction _ | Routers _ | No_failure -> ());
+         match tele with
+         | Some t ->
+           Telemetry.set_fail_time t t_fail;
+           (* Baseline tick at the failure instant, then the periodic
+              chain through re-convergence. *)
+           Network.probe_tick net t;
+           Network.start_probes net t
+         | None -> ()));
   Sched.run ~until:(t_fail +. s.sim_time_cap) sched;
   let converged = warmup_converged && Sched.pending sched = 0 in
   let last = Network.last_activity net in
@@ -129,6 +145,7 @@ let run s =
     events = Sched.events_executed sched;
     survivors_connected = Failure.survivors_connected topo failure;
     issues;
+    report = Option.map Telemetry.report tele;
   }
 
 let run_mean s ~trials ~metric =

@@ -64,9 +64,16 @@ type result = {
   events : int;  (** simulator events executed (cost indicator) *)
   survivors_connected : bool;
   issues : Validate.issue list;  (** non-empty only when [validate] *)
+  report : Telemetry.report option;
+      (** telemetry report when [net.telemetry] is set; [None] otherwise.
+          With telemetry off the whole record is bit-identical to a run
+          without the telemetry layer; with it on, only [events] differs
+          (probe events), never a routing-relevant field *)
 }
 
 val run : scenario -> result
+(** A pure function of the scenario: same scenario, same result, on any
+    number of domains. *)
 
 val run_mean :
   scenario -> trials:int -> metric:(result -> float) -> Bgp_engine.Stats.summary

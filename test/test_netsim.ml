@@ -443,6 +443,67 @@ let test_trace_ring_buffer () =
   Trace.clear t;
   checki "cleared" 0 (Trace.length t)
 
+let trace_times t = List.map Trace.time_of (Trace.to_list t)
+let fail_at time = Trace.Router_failed { time; router = 0 }
+let times_t = Alcotest.(list (float 1e-9))
+
+let test_trace_capacity_edges () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()));
+  let t = Trace.create ~capacity:4 () in
+  checki "empty" 0 (Trace.length t);
+  Alcotest.check times_t "empty list" [] (trace_times t);
+  (* Exactly at capacity: everything kept, nothing dropped. *)
+  for i = 1 to 4 do
+    Trace.record t (fail_at (float_of_int i))
+  done;
+  checki "full" 4 (Trace.length t);
+  checki "nothing dropped at exact capacity" 0 (Trace.dropped t);
+  Alcotest.check times_t "insertion order" [ 1.0; 2.0; 3.0; 4.0 ] (trace_times t);
+  (* One past capacity: the single oldest is overwritten. *)
+  Trace.record t (fail_at 5.0);
+  checki "still bounded" 4 (Trace.length t);
+  checki "one dropped" 1 (Trace.dropped t);
+  Alcotest.check times_t "oldest evicted, order kept" [ 2.0; 3.0; 4.0; 5.0 ]
+    (trace_times t);
+  (* More than a full lap of the ring: ordering must survive wraparound. *)
+  for i = 6 to 11 do
+    Trace.record t (fail_at (float_of_int i))
+  done;
+  checki "dropped accumulates" 7 (Trace.dropped t);
+  Alcotest.check times_t "newest window after wrap" [ 8.0; 9.0; 10.0; 11.0 ]
+    (trace_times t)
+
+let test_trace_between_boundaries () =
+  let t = Trace.create ~capacity:8 () in
+  List.iter (fun time -> Trace.record t (fail_at time)) [ 1.0; 2.0; 3.0; 4.0 ];
+  let times lo hi = List.map Trace.time_of (Trace.between t ~lo ~hi) in
+  (* Half-open window: lo inclusive, hi exclusive. *)
+  Alcotest.check times_t "lo <= t < hi" [ 2.0; 3.0 ] (times 2.0 4.0);
+  Alcotest.check times_t "empty window" [] (times 2.0 2.0);
+  Alcotest.check times_t "hi just past last" [ 4.0 ] (times 4.0 4.0000001);
+  Alcotest.check times_t "everything" [ 1.0; 2.0; 3.0; 4.0 ] (times 0.0 infinity);
+  (* After wraparound the window still reads oldest-first. *)
+  let t = Trace.create ~capacity:3 () in
+  List.iter (fun time -> Trace.record t (fail_at time)) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.check times_t "window over wrapped ring" [ 3.0; 4.0 ]
+    (List.map Trace.time_of (Trace.between t ~lo:3.0 ~hi:5.0))
+
+let test_trace_clear_resets () =
+  let t = Trace.create ~capacity:2 () in
+  List.iter (fun time -> Trace.record t (fail_at time)) [ 1.0; 2.0; 3.0 ];
+  checki "overflowed before clear" 1 (Trace.dropped t);
+  Trace.clear t;
+  checki "length reset" 0 (Trace.length t);
+  checki "dropped reset" 0 (Trace.dropped t);
+  Alcotest.check times_t "emptied" [] (trace_times t);
+  (* The ring is reusable after clear, with fresh ordering. *)
+  List.iter (fun time -> Trace.record t (fail_at time)) [ 7.0; 8.0 ];
+  checki "refilled" 2 (Trace.length t);
+  checki "no stale drops" 0 (Trace.dropped t);
+  Alcotest.check times_t "fresh order" [ 7.0; 8.0 ] (trace_times t)
+
 let test_trace_records_network_events () =
   let topo = fixed_topo 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
   let trace = Trace.create () in
@@ -769,6 +830,9 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer;
+          Alcotest.test_case "capacity edge cases" `Quick test_trace_capacity_edges;
+          Alcotest.test_case "between boundaries" `Quick test_trace_between_boundaries;
+          Alcotest.test_case "clear resets" `Quick test_trace_clear_resets;
           Alcotest.test_case "records network events" `Quick
             test_trace_records_network_events;
         ] );
