@@ -246,10 +246,12 @@ let bench_rng =
 let bench_rib =
   Test.make ~name:"bgp/rib 100 updates + decide"
     (Staged.stage (fun () ->
+         let paths = Bgp_proto.Path.create_table () in
          let rib = Bgp_proto.Rib.create ~asn:0 in
          for peer = 1 to 10 do
            for dest = 1 to 10 do
-             Bgp_proto.Rib.set_in rib dest ~peer ~kind:Bgp_proto.Types.Ebgp [ peer; dest ];
+             Bgp_proto.Rib.set_in rib dest ~peer ~kind:Bgp_proto.Types.Ebgp
+               (Bgp_proto.Path.of_list paths [ peer; dest ]);
              ignore (Bgp_proto.Rib.decide rib dest)
            done
          done))

@@ -15,14 +15,15 @@ module Config = Bgp_proto.Config
 module Router = Bgp_proto.Router
 module Iq = Bgp_core.Input_queue
 
-let burst router ~from_peer ~dests ~rounds =
+let burst router ~paths ~from_peer ~dests ~rounds =
   (* Each round re-advertises every destination with a different path, so
      every earlier round's message is stale by the time the next lands. *)
   for round = 1 to rounds do
     List.iter
       (fun dest ->
         let path =
-          if round mod 2 = 0 then [ from_peer; dest ] else [ from_peer; 77; dest ]
+          Bgp_proto.Path.of_list paths
+            (if round mod 2 = 0 then [ from_peer; dest ] else [ from_peer; 77; dest ])
         in
         Router.receive router ~src:from_peer (Types.Advertise { dest; path }))
       dests
@@ -42,8 +43,9 @@ let run_once discipline =
       mrai_jitter = false;
     }
   in
+  let paths = Bgp_proto.Path.create_table () in
   let router =
-    Router.create ~sched ~rng:(Rng.create 7) ~config ~id:0 ~asn:0 ~degree:2 cb
+    Router.create ~sched ~rng:(Rng.create 7) ~paths ~config ~id:0 ~asn:0 ~degree:2 cb
   in
   Router.add_peer router ~peer:1 ~peer_as:1 ~kind:Types.Ebgp ();
   Router.add_peer router ~peer:2 ~peer_as:2 ~kind:Types.Ebgp ();
@@ -51,7 +53,7 @@ let run_once discipline =
   Sched.run sched;
   sent := 0;
   let dests = List.init 30 (fun i -> 100 + i) in
-  burst router ~from_peer:1 ~dests ~rounds:6;
+  burst router ~paths ~from_peer:1 ~dests ~rounds:6;
   Sched.run sched;
   let m = Router.metrics router in
   (!sent, m.Router.msgs_processed, m.Router.eliminated)

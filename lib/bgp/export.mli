@@ -7,6 +7,7 @@
 open Types
 
 val target :
+  paths:Path.table ->
   config:Config.t ->
   own_as:as_id ->
   peer_kind:session_kind ->
@@ -15,7 +16,8 @@ val target :
   best:Rib.best option ->
   unit ->
   path option
-(** [None] means "advertise nothing" (i.e. withdraw if something was
+(** [paths] is the run's interning table (any prepended hop is interned
+    there).  [None] means "advertise nothing" (i.e. withdraw if something was
     advertised before): no selection, an iBGP-learned selection facing an
     iBGP peer, a sender-side loop-check hit, or — when relationships are
     configured — a valley-free (Gao-Rexford) export restriction: routes

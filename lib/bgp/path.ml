@@ -1,0 +1,75 @@
+type t = {
+  id : int;  (* unique within the owning table; 0 = empty *)
+  hops : int list;  (* spine shared with the tail node: hops = head :: tail.hops *)
+  len : int;
+  bits : int;  (* membership bitset: bit (asn mod 62) of every hop *)
+}
+
+let empty = { id = 0; hops = []; len = 0; bits = 0 }
+
+type table = {
+  memo : (int, t) Hashtbl.t;  (* key = tail id * 2^22 + head asn *)
+  mutable next_id : int;
+  mutable hits : int;
+}
+
+let create_table () = { memo = Hashtbl.create 1024; next_id = 1; hits = 0 }
+
+(* Memo keys pack (tail id, head asn) into one int, so the hot probe hashes
+   an immediate instead of a tuple.  22 bits cover any AS number this
+   simulator generates (destinations are AS ids); 41 bits of id space is
+   unreachable in practice. *)
+let asn_bits = 22
+let max_asn = (1 lsl asn_bits) - 1
+
+let cons tbl asn tail =
+  if asn < 0 || asn > max_asn then invalid_arg "Path.cons: AS id out of range";
+  let key = (tail.id lsl asn_bits) lor asn in
+  match Hashtbl.find_opt tbl.memo key with
+  | Some p ->
+    (* The key only identifies [tail] within [tbl]; a tail interned
+       elsewhere could collide on id, so confirm spine sharing. *)
+    (match p.hops with
+    | _ :: rest when rest == tail.hops ->
+      tbl.hits <- tbl.hits + 1;
+      p
+    | _ -> invalid_arg "Path.cons: tail was interned in a different table")
+  | None ->
+    let p =
+      {
+        id = tbl.next_id;
+        hops = asn :: tail.hops;
+        len = tail.len + 1;
+        bits = tail.bits lor (1 lsl (asn mod 62));
+      }
+    in
+    tbl.next_id <- tbl.next_id + 1;
+    Hashtbl.replace tbl.memo key p;
+    p
+
+let of_list tbl l = List.fold_right (fun asn acc -> cons tbl asn acc) l empty
+
+let hops p = p.hops
+let length p = p.len
+let is_empty p = p.len = 0
+let id p = p.id
+
+let rec mem_int (asn : int) = function
+  | [] -> false
+  | x :: tl -> x = asn || mem_int asn tl
+
+let contains p asn =
+  asn >= 0 && p.bits land (1 lsl (asn mod 62)) <> 0 && mem_int asn p.hops
+
+let rec eq_hops (a : int list) (b : int list) =
+  match (a, b) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> x = y && eq_hops xs ys
+  | _ -> false
+
+let equal a b = a == b || (a.len = b.len && a.bits = b.bits && eq_hops a.hops b.hops)
+
+let pp ppf p = Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") int) p.hops
+
+let unique_count tbl = tbl.next_id - 1
+let hit_count tbl = tbl.hits

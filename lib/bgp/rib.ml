@@ -8,9 +8,48 @@ type entry = {
 }
 type best = Local | Learned of entry
 
+(* Packed ranking key: one int, lower is better, ordering identical to the
+   lexicographic tuple (pref, len, kind, peer).  Layout (low to high):
+
+     bits 0..30   peer id + 1        (Local's "peer -1" packs to 0)
+     bit  31      session kind       (0 = eBGP, 1 = iBGP)
+     bits 32..55  AS-path length     (24 bits)
+     bits 56..57  preference class   (customer 0 / peer 1 / provider 2)
+
+   Local therefore packs to 0, strictly below every learned route.  The
+   key is precomputed at Adj-RIB-In insertion, so [select] compares plain
+   ints and [decide] never allocates rank tuples. *)
+
+let max_peer = (1 lsl 31) - 2
+let max_len = (1 lsl 24) - 1
+
+let pack ~pref ~len ~kind ~peer =
+  if len > max_len then invalid_arg "Rib: AS path too long to rank";
+  if peer < -1 || peer > max_peer then invalid_arg "Rib: peer id out of rank range";
+  (pref lsl 56)
+  lor (len lsl 32)
+  lor ((match kind with Ebgp -> 0 | Ibgp -> 1) lsl 31)
+  lor (peer + 1)
+
+let packed_rank = function
+  | Local -> 0
+  | Learned { peer; kind; path; rel } ->
+    pack ~pref:(preference_of_relationship rel) ~len:(path_length path) ~kind ~peer
+
+let rank = function
+  | Local -> (0, 0, 0, -1)
+  | Learned { peer; kind; path; rel } ->
+    ( preference_of_relationship rel,
+      path_length path,
+      (match kind with Ebgp -> 0 | Ibgp -> 1),
+      peer )
+
+(* Adj-RIB-In slots carry the precomputed key alongside the entry. *)
+type slot = { entry : entry; key : int }
+
 type t = {
   asn : as_id;
-  rib_in : (dest, (router_id, entry) Hashtbl.t) Hashtbl.t;
+  rib_in : (dest, (router_id, slot) Hashtbl.t) Hashtbl.t;
   loc_rib : (dest, best) Hashtbl.t;
   local : (dest, unit) Hashtbl.t;
 }
@@ -25,16 +64,6 @@ let create ~asn =
 
 let asn t = t.asn
 
-let rank = function
-  | Local -> (0, 0, 0, -1)
-  | Learned { peer; kind; path; rel } ->
-    ( preference_of_relationship rel,
-      path_length path,
-      (match kind with Ebgp -> 0 | Ibgp -> 1),
-      peer )
-
-let compare_best a b = compare (rank a) (rank b)
-
 let in_table t dest =
   match Hashtbl.find_opt t.rib_in dest with
   | Some table -> table
@@ -48,7 +77,10 @@ let originate t dest = Hashtbl.replace t.local dest ()
 let set_in t dest ~peer ~kind ?rel path =
   if path_contains path t.asn then
     invalid_arg "Rib.set_in: path contains our own AS (loop check is the caller's job)";
-  Hashtbl.replace (in_table t dest) peer { peer; kind; path; rel }
+  let key =
+    pack ~pref:(preference_of_relationship rel) ~len:(path_length path) ~kind ~peer
+  in
+  Hashtbl.replace (in_table t dest) peer { entry = { peer; kind; path; rel }; key }
 
 let withdraw_in t dest ~peer =
   match Hashtbl.find_opt t.rib_in dest with
@@ -69,28 +101,49 @@ let entries_in t dest =
   match Hashtbl.find_opt t.rib_in dest with
   | None -> []
   | Some table ->
-    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) table [] in
-    List.sort (fun a b -> compare_best (Learned a) (Learned b)) entries
+    let slots = Hashtbl.fold (fun _ s acc -> s :: acc) table [] in
+    List.map
+      (fun s -> s.entry)
+      (List.sort (fun a b -> Int.compare a.key b.key) slots)
 
+(* One fold over the per-dest table; the running minimum is a plain int.
+   Keys are unique (the peer id is part of the key), so the minimum is
+   unambiguous and the fold order cannot matter. *)
 let select t dest =
-  let candidates =
-    (if Hashtbl.mem t.local dest then [ Local ] else [])
-    @ List.map (fun e -> Learned e) (entries_in t dest)
-  in
-  match candidates with
-  | [] -> None
-  | first :: rest ->
-    Some (List.fold_left (fun acc c -> if compare_best c acc < 0 then c else acc) first rest)
+  let best_key = ref max_int in
+  let best_slot = ref None in
+  (match Hashtbl.find_opt t.rib_in dest with
+  | None -> ()
+  | Some table ->
+    Hashtbl.iter
+      (fun _ s ->
+        if s.key < !best_key then begin
+          best_key := s.key;
+          best_slot := Some s
+        end)
+      table);
+  if Hashtbl.mem t.local dest then Some Local
+  else match !best_slot with None -> None | Some s -> Some (Learned s.entry)
 
 let ibgp_exportable = function
   | Local -> true
   | Learned { kind = Ebgp; _ } -> true
   | Learned { kind = Ibgp; _ } -> false
 
-let export_identity = function
-  | None -> None
-  | Some Local -> Some ([], true)
-  | Some (Learned e) -> Some (e.path, ibgp_exportable (Learned e))
+(* Allocation-free equivalent of comparing the old [export_identity]
+   options: two selections are export-equivalent iff they agree on the
+   advertised path and on iBGP re-exportability (Local counts as the
+   empty path and exportable, exactly as before). *)
+let same_export before after =
+  match (before, after) with
+  | None, None -> true
+  | None, Some _ | Some _, None -> false
+  | Some Local, Some Local -> true
+  | Some Local, Some (Learned e) | Some (Learned e), Some Local ->
+    path_length e.path = 0 && ibgp_exportable (Learned e)
+  | Some (Learned a), Some (Learned b) ->
+    path_equal a.path b.path
+    && ibgp_exportable (Learned a) = ibgp_exportable (Learned b)
 
 let decide t dest =
   let before = Hashtbl.find_opt t.loc_rib dest in
@@ -98,21 +151,33 @@ let decide t dest =
   (match after with
   | None -> Hashtbl.remove t.loc_rib dest
   | Some b -> Hashtbl.replace t.loc_rib dest b);
-  export_identity before <> export_identity after
+  not (same_export before after)
 
 let best t dest = Hashtbl.find_opt t.loc_rib dest
 
 let best_path t dest =
   match best t dest with
   | None -> None
-  | Some Local -> Some []
+  | Some Local -> Some Path.empty
   | Some (Learned e) -> Some e.path
 
 let loc_size t = Hashtbl.length t.loc_rib
 
-let dests t =
+let num_dests t =
   let seen = Hashtbl.create 256 in
   Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.rib_in;
   Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.loc_rib;
   Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.local;
-  List.sort Int.compare (Hashtbl.fold (fun dest () acc -> dest :: acc) seen [])
+  Hashtbl.length seen
+
+let iter_dests t f =
+  let seen = Hashtbl.create 256 in
+  let visit dest _ =
+    if not (Hashtbl.mem seen dest) then begin
+      Hashtbl.replace seen dest ();
+      f dest
+    end
+  in
+  Hashtbl.iter visit t.rib_in;
+  Hashtbl.iter visit t.loc_rib;
+  Hashtbl.iter visit t.local

@@ -55,20 +55,30 @@ val best : t -> dest -> best option
 (** Current Loc-RIB selection, if any. *)
 
 val best_path : t -> dest -> path option
-(** Path of the current selection; [Some \[\]] for a local route. *)
+(** Path of the current selection; [Some Path.empty] for a local
+    route. *)
 
 val ibgp_exportable : best -> bool
 (** Standard full-mesh iBGP rule: only local and eBGP-learned routes are
     re-advertised to iBGP peers. *)
 
-val dests : t -> dest list
-(** All destinations with any Adj-RIB-In or Loc-RIB state. *)
+val num_dests : t -> int
+(** Number of destinations with any Adj-RIB-In or Loc-RIB state, without
+    materialising the list. *)
+
+val iter_dests : t -> (dest -> unit) -> unit
+(** Visit each such destination once (unspecified order, no intermediate
+    list). *)
 
 val loc_size : t -> int
 (** Destinations with a current Loc-RIB selection — the "RIB size" the
     telemetry probes sample.  O(1). *)
 
 val rank : best -> int * int * int * int
-(** Ranking key (preference class, path length, eBGP-over-iBGP, peer id;
-    lower is better); exposed for property tests and the analytic
-    warm-up. *)
+(** Reference ranking key (preference class, path length, eBGP-over-iBGP,
+    peer id; lower is better); kept as the specification that
+    [packed_rank] is property-tested against. *)
+
+val packed_rank : best -> int
+(** The same ordering packed into a single int (what the hot path
+    compares); [packed_rank Local = 0].  Order-isomorphic to {!rank}. *)

@@ -37,13 +37,18 @@ type t = {
   config : Config.t;
   sched : Sched.t;
   rng : Rng.t;
+  paths : Path.table;  (* the run's shared AS-path interning table *)
   rib : Rib.t;
   input : work Iq.t;
   peers : (router_id, peer_state) Hashtbl.t;
   mutable peer_list : router_id list;  (* ascending, for deterministic iteration *)
+  mutable peer_states : peer_state list;  (* same order as [peer_list] *)
   ebgp_controller : Mrai.t;
   ibgp_controller : Mrai.t;
   mean_proc : float;
+  adaptive : bool;
+      (* the eBGP controller reacts to load; when false the per-message
+         load-window accounting and level checks are skipped entirely *)
   cb : callbacks;
   mutable busy : bool;
   mutable failed : bool;
@@ -65,20 +70,24 @@ type t = {
   mutable rib_changes : int;  (* export-relevant Loc-RIB revisions *)
 }
 
-let create ~sched ~rng ~config ~id ~asn ~degree cb =
+let create ~sched ~rng ~paths ~config ~id ~asn ~degree cb =
+  let ebgp_controller = Mrai.make config.Config.mrai_scheme ~degree in
   {
     id;
     asn;
     config;
     sched;
     rng;
+    paths;
     rib = Rib.create ~asn;
     input = Iq.create config.Config.queue_discipline;
     peers = Hashtbl.create 16;
     peer_list = [];
-    ebgp_controller = Mrai.make config.Config.mrai_scheme ~degree;
+    peer_states = [];
+    ebgp_controller;
     ibgp_controller = Mrai.make (Static config.Config.ibgp_mrai) ~degree;
     mean_proc = Dist.mean config.Config.processing_delay;
+    adaptive = Mrai.is_adaptive ebgp_controller;
     cb;
     busy = false;
     failed = false;
@@ -125,7 +134,9 @@ let add_peer t ~peer ~peer_as ~kind ?relationship () =
       advertised = Hashtbl.create 64;
       flaps = Hashtbl.create 8;
     };
-  t.peer_list <- List.merge Int.compare [ peer ] t.peer_list
+  t.peer_list <- List.merge Int.compare [ peer ] t.peer_list;
+  t.peer_states <-
+    List.map (fun pid -> Hashtbl.find t.peers pid) t.peer_list
 
 (* --- Load window ------------------------------------------------------- *)
 
@@ -151,16 +162,18 @@ let roll_window t =
 let observe_load t =
   let work = float_of_int (Iq.length t.input) *. t.mean_proc in
   if work > t.max_unfinished_work then t.max_unfinished_work <- work;
-  let load =
-    {
-      Mrai.now = Sched.now t.sched;
-      queue_length = Iq.length t.input;
-      mean_processing_delay = t.mean_proc;
-      utilization = t.last_utilization;
-      updates_in_window = t.last_msgs_in_window;
-    }
-  in
-  Mrai.observe t.ebgp_controller load
+  if t.adaptive then begin
+    let load =
+      {
+        Mrai.now = Sched.now t.sched;
+        queue_length = Iq.length t.input;
+        mean_processing_delay = t.mean_proc;
+        utilization = t.last_utilization;
+        updates_in_window = t.last_msgs_in_window;
+      }
+    in
+    Mrai.observe t.ebgp_controller load
+  end
 
 (* --- Sending and the MRAI gate ----------------------------------------- *)
 
@@ -187,8 +200,8 @@ let send_withdraw t peer dest =
 (* What should [peer] currently be told about [dest]?  [None] = nothing
    (so a withdrawal if something was advertised before). *)
 let export_target t peer dest =
-  Export.target ~config:t.config ~own_as:t.asn ~peer_kind:peer.kind ~peer_as:peer.peer_as
-    ?peer_rel:peer.peer_rel ~best:(Rib.best t.rib dest) ()
+  Export.target ~paths:t.paths ~config:t.config ~own_as:t.asn ~peer_kind:peer.kind
+    ~peer_as:peer.peer_as ?peer_rel:peer.peer_rel ~best:(Rib.best t.rib dest) ()
 
 let timer_idle t peer dest =
   match t.config.Config.mrai_mode with
@@ -198,16 +211,18 @@ let timer_idle t peer dest =
 (* Flush one pending destination against the current Loc-RIB.  Returns
    [true] if an MRAI-limited message (an advertisement, or any message
    when mrai_on_withdrawals) was sent. *)
-let flush_dest t peer dest =
-  match (export_target t peer dest, Hashtbl.find_opt peer.advertised dest) with
+let flush_target t peer dest target =
+  match (target, Hashtbl.find_opt peer.advertised dest) with
   | None, None -> false
-  | Some path, Some advertised when path = advertised -> false
+  | Some path, Some advertised when path_equal path advertised -> false
   | Some path, _ ->
     send_advert t peer dest path;
     true
   | None, Some _ ->
     send_withdraw t peer dest;
     t.config.Config.mrai_on_withdrawals
+
+let flush_dest t peer dest = flush_target t peer dest (export_target t peer dest)
 
 let rec start_timer t peer =
   let interval = effective_interval t peer in
@@ -285,12 +300,14 @@ let bump_flaps peer dest =
    [peer], applying the MRAI gate (and any configured bypass). *)
 let schedule_export t peer dest =
   if peer.up then
-    match (export_target t peer dest, Hashtbl.find_opt peer.advertised dest) with
+    let target = export_target t peer dest in
+    match (target, Hashtbl.find_opt peer.advertised dest) with
     | None, None -> Hashtbl.remove peer.pending dest
-    | Some path, Some advertised when path = advertised -> Hashtbl.remove peer.pending dest
+    | Some path, Some advertised when path_equal path advertised ->
+      Hashtbl.remove peer.pending dest
     | Some path, _ ->
       if timer_idle t peer dest then begin
-        ignore (flush_dest t peer dest);
+        ignore (flush_target t peer dest target);
         after_send t peer dest
       end
       else begin
@@ -301,7 +318,7 @@ let schedule_export t peer dest =
           if is_improvement peer dest path then begin
             cancel_gate_timer t peer dest;
             Hashtbl.remove peer.pending dest;
-            ignore (flush_dest t peer dest);
+            ignore (flush_target t peer dest target);
             after_send t peer dest
           end
           else Hashtbl.replace peer.pending dest ()
@@ -311,14 +328,14 @@ let schedule_export t peer dest =
                destination: the update goes out immediately and the gate
                timer is left untouched. *)
             Hashtbl.remove peer.pending dest;
-            ignore (flush_dest t peer dest)
+            ignore (flush_target t peer dest target)
           end
           else Hashtbl.replace peer.pending dest ()
       end
     | None, Some _ ->
       if t.config.Config.mrai_on_withdrawals then begin
         if timer_idle t peer dest then begin
-          ignore (flush_dest t peer dest);
+          ignore (flush_target t peer dest target);
           after_send t peer dest
         end
         else Hashtbl.replace peer.pending dest ()
@@ -338,8 +355,7 @@ let rearm_running_timers t =
     t.last_level <- level;
     if t.config.Config.dynamic_restart_timers then
       List.iter
-        (fun pid ->
-          let peer = Hashtbl.find t.peers pid in
+        (fun peer ->
           if peer.up && peer.kind = Ebgp then
             match t.config.Config.mrai_mode with
             | Config.Per_peer ->
@@ -364,16 +380,14 @@ let rearm_running_timers t =
                   Hashtbl.remove peer.dest_timers d;
                   start_dest_timer t peer d)
                 dests)
-        t.peer_list
+        t.peer_states
   end
 
 let reconsider t dest =
   if Rib.decide t.rib dest then begin
     t.rib_changes <- t.rib_changes + 1;
     activity t;
-    List.iter
-      (fun pid -> schedule_export t (Hashtbl.find t.peers pid) dest)
-      t.peer_list
+    List.iter (fun peer -> schedule_export t peer dest) t.peer_states
   end
 
 (* --- Flap damping (RFC 2439) -------------------------------------------- *)
@@ -451,10 +465,15 @@ let handle_work t (item : work Iq.item) =
         reconsider t (update_dest update)
       end)
   | Peer_down_msg ->
-    (* Parked (suppressed) routes from the dead peer must go too. *)
-    Hashtbl.iter
-      (fun (src, dest) _ -> if src = item.src then Hashtbl.remove t.parked (src, dest))
-      (Hashtbl.copy t.parked);
+    (* Parked (suppressed) routes from the dead peer must go too; collect
+       the stale keys first (mutating under iteration is unspecified)
+       rather than copying the whole table. *)
+    let stale =
+      Hashtbl.fold
+        (fun ((src, _) as k) _ acc -> if src = item.src then k :: acc else acc)
+        t.parked []
+    in
+    List.iter (Hashtbl.remove t.parked) stale;
     let affected = Rib.drop_peer t.rib ~peer:item.src in
     List.iter (reconsider t) (List.sort Int.compare affected)
 
@@ -468,23 +487,29 @@ let rec begin_next t =
 
 and complete t item delay =
   if not t.failed then begin
-    roll_window t;
-    t.busy_in_window <- t.busy_in_window +. delay;
+    if t.adaptive then begin
+      roll_window t;
+      t.busy_in_window <- t.busy_in_window +. delay
+    end;
     t.msgs_processed <- t.msgs_processed + 1;
     handle_work t item;
     observe_load t;
-    rearm_running_timers t;
+    if t.adaptive then rearm_running_timers t;
     activity t;
     begin_next t
   end
 
 let enqueue t ~src ~dest work =
   if not t.failed then begin
-    roll_window t;
+    if t.adaptive then begin
+      roll_window t;
+      (match work with
+      | Update_msg _ -> t.msgs_in_window <- t.msgs_in_window + 1
+      | _ -> ())
+    end;
     Iq.push t.input { Iq.src; dest; payload = work };
-    (match work with Update_msg _ -> t.msgs_in_window <- t.msgs_in_window + 1 | _ -> ());
     observe_load t;
-    rearm_running_timers t;
+    if t.adaptive then rearm_running_timers t;
     if not t.busy then begin_next t
   end
 

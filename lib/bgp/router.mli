@@ -34,6 +34,7 @@ type callbacks = {
 val create :
   sched:Bgp_engine.Scheduler.t ->
   rng:Bgp_engine.Rng.t ->
+  paths:Path.table ->
   config:Config.t ->
   id:router_id ->
   asn:as_id ->
@@ -41,7 +42,9 @@ val create :
   callbacks ->
   t
 (** [degree] is the value the degree-dependent MRAI scheme keys on
-    (inter-AS degree of the router). *)
+    (inter-AS degree of the router).  [paths] is the run's shared AS-path
+    interning table ({!Path}): all routers of one network must use the
+    same table so exchanged paths compare by pointer. *)
 
 val id : t -> router_id
 val asn : t -> as_id

@@ -1,11 +1,12 @@
 type router_id = int
 type as_id = int
 type dest = as_id
-type path = as_id list
+type path = Path.t
 
-let path_length = List.length
-let path_contains path asn = List.mem asn path
-let pp_path ppf path = Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") int) path
+let path_length = Path.length
+let path_contains = Path.contains
+let path_equal = Path.equal
+let pp_path = Path.pp
 
 type update =
   | Advertise of { dest : dest; path : path }
@@ -13,6 +14,12 @@ type update =
 
 let update_dest = function Advertise { dest; _ } -> dest | Withdraw dest -> dest
 let is_withdrawal = function Withdraw _ -> true | Advertise _ -> false
+
+let update_equal a b =
+  match (a, b) with
+  | Withdraw da, Withdraw db -> da = db
+  | Advertise a, Advertise b -> a.dest = b.dest && Path.equal a.path b.path
+  | Advertise _, Withdraw _ | Withdraw _, Advertise _ -> false
 
 let pp_update ppf = function
   | Advertise { dest; path } -> Fmt.pf ppf "advertise(d%d via %a)" dest pp_path path

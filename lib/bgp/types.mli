@@ -10,13 +10,22 @@ type as_id = int
 type dest = as_id
 (** The prefix originated by that AS. *)
 
-type path = as_id list
+type path = Path.t
 (** AS path: head is the AS of the last speaker that prepended (the
     advertising neighbour for eBGP-learned routes), the origin AS is last.
-    A locally-originated route has the empty path. *)
+    A locally-originated route has the empty path.  Paths are hash-consed
+    per run ({!Path}), so length, equality and membership are O(1)-ish on
+    the hot path. *)
 
 val path_length : path -> int
+(** O(1) (cached in the interned node). *)
+
 val path_contains : path -> as_id -> bool
+(** Bitset rejection then a short scan; see {!Path.contains}. *)
+
+val path_equal : path -> path -> bool
+(** Pointer equality within a run's table; structural fallback. *)
+
 val pp_path : Format.formatter -> path -> unit
 
 type update =
@@ -25,6 +34,11 @@ type update =
 
 val update_dest : update -> dest
 val is_withdrawal : update -> bool
+
+val update_equal : update -> update -> bool
+(** Structural equality on updates (paths compared with {!path_equal});
+    the batching input queue's superseded-update test. *)
+
 val pp_update : Format.formatter -> update -> unit
 
 type session_kind = Ebgp | Ibgp

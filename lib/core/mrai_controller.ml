@@ -64,6 +64,8 @@ let observe t load =
       a.transitions <- a.transitions + 1
     end
 
+let is_adaptive = function Fixed _ -> false | Adaptive _ -> true
+
 let current_interval = function
   | Fixed v -> v
   | Adaptive a -> a.levels.(a.level)

@@ -52,6 +52,10 @@ val observe : t -> load -> unit
 (** Feed a load snapshot; may move the dynamic scheme up or down one
     level.  No-op for static schemes. *)
 
+val is_adaptive : t -> bool
+(** [false] for a fixed interval: [observe] is a no-op and [level] never
+    moves, so callers may skip load measurement entirely. *)
+
 val current_interval : t -> float
 (** The interval a timer restarted right now would use (before jitter). *)
 

@@ -55,8 +55,22 @@ let pop_exn t =
   t.size <- t.size - 1;
   if t.size > 0 then begin
     t.data.(0) <- t.data.(t.size);
+    (* Point the vacated slot at a live element so the popped one is not
+       pinned by the array. *)
+    t.data.(t.size) <- t.data.(0);
     sift_down t 0
   end;
+  (* Shrink when mostly empty: slots beyond [size] may still reference
+     formerly-live elements, so a drained heap must not keep a large
+     array alive. *)
+  let capacity = Array.length t.data in
+  if capacity >= 64 && t.size * 4 <= capacity then
+    if t.size = 0 then t.data <- [||]
+    else begin
+      let data = Array.make (capacity / 2) t.data.(0) in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end;
   top
 
 let pop t = if t.size = 0 then None else Some (pop_exn t)

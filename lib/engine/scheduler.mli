@@ -2,7 +2,13 @@
 
     Events are closures executed at a simulated instant.  Ties are broken
     by scheduling order, so a run is fully deterministic.  This plays the
-    role SSFNet's kernel played for the paper. *)
+    role SSFNet's kernel played for the paper.
+
+    Internally the queue is an array-slab: callbacks sit in a growable
+    slot array with a free-list, the heap is parallel arrays with the
+    time key inline (no per-event record, no hash-table lookup per
+    executed event), and ids are generation-tagged so [cancel] stays a
+    safe no-op on stale handles.  See DESIGN.md "Performance". *)
 
 type t
 

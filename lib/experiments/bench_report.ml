@@ -15,14 +15,36 @@ type entry = {
   verdicts_total : int;
 }
 
+type micro = {
+  name : string;
+  iters : int;
+  micro_wall : float;
+  ns_per_op : float;
+  ops_per_s : float;
+}
+
 type t = {
   trials : int;
   n : int;
   jobs : int;
   mutable entries_rev : entry list;
+  mutable micros_rev : micro list;
 }
 
-let create ~trials ~n ~jobs = { trials; n; jobs; entries_rev = [] }
+let create ~trials ~n ~jobs = { trials; n; jobs; entries_rev = []; micros_rev = [] }
+
+let micro ~name ~iters ~wall =
+  let per_op = if iters > 0 then wall /. float_of_int iters else 0.0 in
+  {
+    name;
+    iters;
+    micro_wall = wall;
+    ns_per_op = per_op *. 1e9;
+    ops_per_s = (if per_op > 0.0 then 1.0 /. per_op else 0.0);
+  }
+
+let add_micro t m = t.micros_rev <- m :: t.micros_rev
+let micros t = List.rev t.micros_rev
 
 let entry ~id ~title ~kind ~wall ~pool ~per_domain ~verdicts_pass ~verdicts_total =
   {
@@ -102,6 +124,20 @@ let to_json t =
         e.per_domain;
       Buffer.add_string buf "]}")
     (entries t);
+  Buffer.add_string buf "\n  ],\n  \"micro\": [";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    {\"name\": ";
+      buf_string buf m.name;
+      Printf.bprintf buf ", \"iters\": %d, \"wall_s\": " m.iters;
+      buf_float buf m.micro_wall;
+      Buffer.add_string buf ", \"ns_per_op\": ";
+      buf_float buf m.ns_per_op;
+      Buffer.add_string buf ", \"ops_per_s\": ";
+      buf_float buf m.ops_per_s;
+      Buffer.add_char buf '}')
+    (micros t);
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 

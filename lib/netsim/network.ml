@@ -33,6 +33,7 @@ type t = {
   topo : Topology.t;
   config : config;
   sched : Sched.t;
+  paths : Bgp_proto.Path.table;  (* per-run AS-path interning table *)
   routers : Router.t array;
   detect_rng : Rng.t;  (* hold-timer detection sampling *)
   failed : bool array;
@@ -104,11 +105,13 @@ let build ~sched ~rng ~config ?telemetry topo =
       session_peers.(v) <- u :: session_peers.(v))
     sessions;
   Array.iteri (fun i l -> session_peers.(i) <- List.sort Int.compare l) session_peers;
+  let paths = Bgp_proto.Path.create_table () in
   let net =
     {
       topo;
       config;
       sched;
+      paths;
       routers = [||];
       detect_rng = Rng.split rng;
       failed = Array.make n false;
@@ -156,7 +159,7 @@ let build ~sched ~rng ~config ?telemetry topo =
                 if time > nref.last_activity then nref.last_activity <- time);
           }
         in
-        Router.create ~sched ~rng:router_rng ~config:config.bgp ~id:i
+        Router.create ~sched ~rng:router_rng ~paths ~config:config.bgp ~id:i
           ~asn:topo.Topology.as_of_router.(i)
           ~degree:(Topology.inter_as_degree topo i)
           cb)
@@ -206,11 +209,16 @@ let build ~sched ~rng ~config ?telemetry topo =
         m.Router.damping_suppressions);
     reg "sched.events" Telemetry.Gauge (fun () ->
         float_of_int (Sched.events_executed sched));
-    reg "sched.time" Telemetry.Gauge (fun () -> Sched.now sched));
+    reg "sched.time" Telemetry.Gauge (fun () -> Sched.now sched);
+    reg "path.interned" Telemetry.Gauge (fun () ->
+        float_of_int (Bgp_proto.Path.unique_count paths));
+    reg "path.intern_hits" Telemetry.Counter (fun () ->
+        float_of_int (Bgp_proto.Path.hit_count paths)));
   !net
 
 let topology t = t.topo
 let bgp_config t = t.config.bgp
+let paths t = t.paths
 let relationships t = t.config.relationships
 let router t i = t.routers.(i)
 let num_routers t = Array.length t.routers

@@ -45,11 +45,16 @@ val build :
   t
 (** [telemetry] is the per-run instance the network registers its
     getter-backed counters into ([net.*], [router.*], [queue.*],
-    [mrai.*], [damping.*], [sched.*]); created and threaded by
+    [mrai.*], [damping.*], [sched.*], [path.*]); created and threaded by
     {!Runner.run} when [config.telemetry] is set. *)
 
 val topology : t -> Bgp_topology.Topology.t
 val bgp_config : t -> Bgp_proto.Config.t
+
+val paths : t -> Bgp_proto.Path.table
+(** The run's AS-path interning table, shared by all routers of this
+    network (and by the analytic warm-up). *)
+
 val relationships : t -> Relationships.t option
 val router : t -> int -> Bgp_proto.Router.t
 val num_routers : t -> int

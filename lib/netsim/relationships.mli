@@ -18,7 +18,8 @@ val relation :
 (** What router [toward]'s AS is to router [from]'s AS ([None] for
     same-AS/iBGP pairs). *)
 
-val valley_free : t -> self:int -> Bgp_proto.Types.path -> bool
-(** Is the AS path (as selected by router [self]) valley-free: zero or
-    more provider hops up, at most one peer hop, then only customer hops
+val valley_free : t -> self:int -> int list -> bool
+(** Is the AS hop list (as selected by router [self]; obtain it from an
+    interned path with {!Bgp_proto.Path.hops}) valley-free: zero or more
+    provider hops up, at most one peer hop, then only customer hops
     down? *)

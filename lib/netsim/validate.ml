@@ -61,14 +61,13 @@ let check net ~failure =
         | Some path ->
           if not alive_as.(origin) then report r dest "retains a route to a dead AS"
           else begin
-            (match
-               List.find_opt (fun asn -> not alive_as.(asn)) path
-             with
+            let hops = Bgp_proto.Path.hops path in
+            (match List.find_opt (fun asn -> not alive_as.(asn)) hops with
             | Some dead -> report r dest (Printf.sprintf "path crosses dead AS %d" dead)
             | None -> ());
             (match relationships with
             | Some rels ->
-              if not (Relationships.valley_free rels ~self:r path) then
+              if not (Relationships.valley_free rels ~self:r hops) then
                 report r dest "selected path is not valley-free"
             | None -> ());
             match forwarding_chain net topo failure ~r ~dest ~origin with

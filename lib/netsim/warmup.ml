@@ -19,7 +19,11 @@ let session_adjacency net =
 type label = Local | Learned of Rib.entry
 
 let best_of = function Local -> Rib.Local | Learned e -> Rib.Learned e
-let rank_of label = Rib.rank (best_of label)
+
+(* Settling order uses the same packed int key the live decision process
+   compares (proven order-isomorphic to the reference tuple rank by the
+   QCheck property in test_bgp). *)
+let rank_of label = Rib.packed_rank (best_of label)
 
 (* Dijkstra-style settling for one destination: ranks (path length, then
    eBGP-over-iBGP, then peer id) are strictly monotone along session
@@ -28,11 +32,12 @@ let rank_of label = Rib.rank (best_of label)
 let settle net adj ~config ~dest =
   let topo = Network.topology net in
   let n = Network.num_routers net in
+  let paths = Network.paths net in
   let origin = Bgp_proto.Config.origin_as config ~dest in
   let best : label option array = Array.make n None in
   let settled = Array.make n false in
   let heap =
-    Heap.create ~cmp:(fun (ra, _, _) (rb, _, _) -> compare ra rb)
+    Heap.create ~cmp:(fun ((ra : int), _, _) ((rb : int), _, _) -> Int.compare ra rb)
   in
   for r = 0 to n - 1 do
     if topo.Topology.as_of_router.(r) = origin then begin
@@ -46,7 +51,7 @@ let settle net adj ~config ~dest =
       (fun (u, kind) ->
         let peer_as = topo.Topology.as_of_router.(u) in
         match
-          Export.target ~config ~own_as ~peer_kind:kind ~peer_as
+          Export.target ~paths ~config ~own_as ~peer_kind:kind ~peer_as
             ~best:(Some (best_of label)) ()
         with
         | None -> ()
@@ -93,7 +98,7 @@ let best_paths net ~dest =
   Array.map
     (function
       | None -> None
-      | Some Local -> Some []
+      | Some Local -> Some Bgp_proto.Path.empty
       | Some (Learned e) -> Some e.Rib.path)
     best
 
@@ -106,6 +111,7 @@ let install net =
   let n = Network.num_routers net in
   let adj = session_adjacency net in
   let config = Network.bgp_config net in
+  let paths = Network.paths net in
   for dest = 0 to (topo.Topology.n_ases * config.Bgp_proto.Config.prefixes_per_as) - 1 do
     let best = settle net adj ~config ~dest in
     let origin = Bgp_proto.Config.origin_as config ~dest in
@@ -120,15 +126,15 @@ let install net =
           let peer_as = topo.Topology.as_of_router.(p) in
           (* What p tells u (import side). *)
           (match
-             Export.target ~config ~own_as:peer_as ~peer_kind:kind ~peer_as:own_as
-               ~best:(Option.map best_of best.(p)) ()
+             Export.target ~paths ~config ~own_as:peer_as ~peer_kind:kind
+               ~peer_as:own_as ~best:(Option.map best_of best.(p)) ()
            with
           | Some path when not (Types.path_contains path own_as) ->
             entries := (p, kind, path) :: !entries
           | Some _ | None -> ());
           (* What u told p (export side). *)
           match
-            Export.target ~config ~own_as ~peer_kind:kind ~peer_as
+            Export.target ~paths ~config ~own_as ~peer_kind:kind ~peer_as
               ~best:(Option.map best_of best.(u)) ()
           with
           | Some path -> advertised := (p, path) :: !advertised

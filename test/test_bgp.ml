@@ -9,39 +9,47 @@ module Config = Bgp_proto.Config
 module Router = Bgp_proto.Router
 module Mrai = Bgp_core.Mrai_controller
 
+module Path = Bgp_proto.Path
+
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
-let path_t = Alcotest.(list int)
+(* One interning table for the whole test binary: the fixtures' routers
+   and the test-constructed updates share it, exactly as all routers of
+   one simulation run share the network's table. *)
+let tbl = Path.create_table ()
+let p = Path.of_list tbl
+let adv dest hops = Types.Advertise { dest; path = p hops }
+let path_t = Alcotest.testable Path.pp Path.equal
 
 (* --- Types ----------------------------------------------------------------- *)
 
 let test_path_helpers () =
-  checki "length" 3 (Types.path_length [ 1; 2; 3 ]);
-  checki "empty length" 0 (Types.path_length []);
-  checkb "contains" true (Types.path_contains [ 1; 2; 3 ] 2);
-  checkb "not contains" false (Types.path_contains [ 1; 2; 3 ] 9);
+  checki "length" 3 (Types.path_length (p [ 1; 2; 3 ]));
+  checki "empty length" 0 (Types.path_length Path.empty);
+  checkb "contains" true (Types.path_contains (p [ 1; 2; 3 ]) 2);
+  checkb "not contains" false (Types.path_contains (p [ 1; 2; 3 ]) 9);
   checki "update dest of advert" 7
-    (Types.update_dest (Types.Advertise { dest = 7; path = [ 1 ] }));
+    (Types.update_dest (adv 7 [ 1 ]));
   checki "update dest of withdraw" 9 (Types.update_dest (Types.Withdraw 9));
   checkb "withdrawal flag" true (Types.is_withdrawal (Types.Withdraw 1));
   checkb "advert flag" false
-    (Types.is_withdrawal (Types.Advertise { dest = 1; path = [] }))
+    (Types.is_withdrawal (adv 1 []))
 
 (* --- Rib -------------------------------------------------------------------- *)
 
 let test_rib_shortest_path_wins () =
   let rib = Rib.create ~asn:0 in
-  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp [ 1; 5; 9 ];
-  Rib.set_in rib 9 ~peer:2 ~kind:Types.Ebgp [ 2; 9 ];
+  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp (p [ 1; 5; 9 ]);
+  Rib.set_in rib 9 ~peer:2 ~kind:Types.Ebgp (p [ 2; 9 ]);
   ignore (Rib.decide rib 9);
-  Alcotest.check (Alcotest.option path_t) "shorter path selected" (Some [ 2; 9 ])
+  Alcotest.check (Alcotest.option path_t) "shorter path selected" (Some (p [ 2; 9 ]))
     (Rib.best_path rib 9)
 
 let test_rib_tiebreak_lowest_peer () =
   let rib = Rib.create ~asn:0 in
-  Rib.set_in rib 9 ~peer:5 ~kind:Types.Ebgp [ 5; 9 ];
-  Rib.set_in rib 9 ~peer:3 ~kind:Types.Ebgp [ 3; 9 ];
+  Rib.set_in rib 9 ~peer:5 ~kind:Types.Ebgp (p [ 5; 9 ]);
+  Rib.set_in rib 9 ~peer:3 ~kind:Types.Ebgp (p [ 3; 9 ]);
   ignore (Rib.decide rib 9);
   (match Rib.best rib 9 with
   | Some (Rib.Learned e) -> checki "lowest peer id wins ties" 3 e.Rib.peer
@@ -49,8 +57,8 @@ let test_rib_tiebreak_lowest_peer () =
 
 let test_rib_ebgp_beats_ibgp () =
   let rib = Rib.create ~asn:0 in
-  Rib.set_in rib 9 ~peer:5 ~kind:Types.Ibgp [ 9 ];
-  Rib.set_in rib 9 ~peer:7 ~kind:Types.Ebgp [ 9 ];
+  Rib.set_in rib 9 ~peer:5 ~kind:Types.Ibgp (p [ 9 ]);
+  Rib.set_in rib 9 ~peer:7 ~kind:Types.Ebgp (p [ 9 ]);
   ignore (Rib.decide rib 9);
   match Rib.best rib 9 with
   | Some (Rib.Learned e) ->
@@ -60,23 +68,23 @@ let test_rib_ebgp_beats_ibgp () =
 let test_rib_local_beats_learned () =
   let rib = Rib.create ~asn:4 in
   Rib.originate rib 4;
-  Rib.set_in rib 4 ~peer:1 ~kind:Types.Ibgp [];
+  Rib.set_in rib 4 ~peer:1 ~kind:Types.Ibgp (p []);
   ignore (Rib.decide rib 4);
   checkb "local origination wins" true (Rib.best rib 4 = Some Rib.Local)
 
 let test_rib_withdraw_falls_back () =
   let rib = Rib.create ~asn:0 in
-  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp [ 1; 9 ];
-  Rib.set_in rib 9 ~peer:2 ~kind:Types.Ebgp [ 2; 7; 9 ];
+  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp (p [ 1; 9 ]);
+  Rib.set_in rib 9 ~peer:2 ~kind:Types.Ebgp (p [ 2; 7; 9 ]);
   ignore (Rib.decide rib 9);
   Rib.withdraw_in rib 9 ~peer:1;
   checkb "decide reports the change" true (Rib.decide rib 9);
-  Alcotest.check (Alcotest.option path_t) "backup promoted" (Some [ 2; 7; 9 ])
+  Alcotest.check (Alcotest.option path_t) "backup promoted" (Some (p [ 2; 7; 9 ]))
     (Rib.best_path rib 9)
 
 let test_rib_withdraw_last_route () =
   let rib = Rib.create ~asn:0 in
-  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp [ 1; 9 ];
+  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp (p [ 1; 9 ]);
   ignore (Rib.decide rib 9);
   Rib.withdraw_in rib 9 ~peer:1;
   checkb "change reported" true (Rib.decide rib 9);
@@ -84,48 +92,48 @@ let test_rib_withdraw_last_route () =
 
 let test_rib_decide_change_detection () =
   let rib = Rib.create ~asn:0 in
-  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp [ 1; 9 ];
+  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp (p [ 1; 9 ]);
   checkb "first route is a change" true (Rib.decide rib 9);
   checkb "idempotent decide" false (Rib.decide rib 9);
   (* Same path length via a lower-id peer: it wins the tiebreak, and since
      the path itself differs the change is export-relevant. *)
-  Rib.set_in rib 9 ~peer:0 ~kind:Types.Ebgp [ 4; 9 ];
+  Rib.set_in rib 9 ~peer:0 ~kind:Types.Ebgp (p [ 4; 9 ]);
   checkb "better tiebreak with different path is a change" true (Rib.decide rib 9)
 
 let test_rib_loop_rejected () =
   let rib = Rib.create ~asn:3 in
   Alcotest.check_raises "own AS in path"
     (Invalid_argument "Rib.set_in: path contains our own AS (loop check is the caller's job)")
-    (fun () -> Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp [ 1; 3; 9 ])
+    (fun () -> Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp (p [ 1; 3; 9 ]))
 
 let test_rib_drop_peer () =
   let rib = Rib.create ~asn:0 in
-  Rib.set_in rib 8 ~peer:1 ~kind:Types.Ebgp [ 1; 8 ];
-  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp [ 1; 9 ];
-  Rib.set_in rib 9 ~peer:2 ~kind:Types.Ebgp [ 2; 9 ];
+  Rib.set_in rib 8 ~peer:1 ~kind:Types.Ebgp (p [ 1; 8 ]);
+  Rib.set_in rib 9 ~peer:1 ~kind:Types.Ebgp (p [ 1; 9 ]);
+  Rib.set_in rib 9 ~peer:2 ~kind:Types.Ebgp (p [ 2; 9 ]);
   List.iter (fun d -> ignore (Rib.decide rib d)) [ 8; 9 ];
   let affected = List.sort Int.compare (Rib.drop_peer rib ~peer:1) in
   Alcotest.check Alcotest.(list int) "affected dests" [ 8; 9 ] affected;
   ignore (Rib.decide rib 8);
   ignore (Rib.decide rib 9);
   checkb "dest 8 gone" true (Rib.best rib 8 = None);
-  Alcotest.check (Alcotest.option path_t) "dest 9 falls back" (Some [ 2; 9 ])
+  Alcotest.check (Alcotest.option path_t) "dest 9 falls back" (Some (p [ 2; 9 ]))
     (Rib.best_path rib 9)
 
 let test_rib_rank_order () =
   let local = Rib.rank Rib.Local in
   let learned ?rel ?(kind = Types.Ebgp) path = Rib.Learned { peer = 1; kind; path; rel } in
-  let ebgp = Rib.rank (learned [ 9 ]) in
-  let ibgp = Rib.rank (learned ~kind:Types.Ibgp [ 9 ]) in
-  let longer = Rib.rank (learned [ 2; 9 ]) in
+  let ebgp = Rib.rank (learned (p [ 9 ])) in
+  let ibgp = Rib.rank (learned ~kind:Types.Ibgp (p [ 9 ])) in
+  let longer = Rib.rank (learned (p [ 2; 9 ])) in
   checkb "local < ebgp" true (local < ebgp);
   checkb "ebgp < ibgp at same length" true (ebgp < ibgp);
   checkb "shorter < longer" true (ebgp < longer);
   checkb "longer ebgp > shorter ibgp" true (longer > ibgp);
   (* Gao-Rexford preference class outranks path length. *)
-  let customer_long = Rib.rank (learned ~rel:Types.Customer [ 2; 3; 4; 9 ]) in
-  let provider_short = Rib.rank (learned ~rel:Types.Provider [ 9 ]) in
-  let peer_short = Rib.rank (learned ~rel:Types.Peer_link [ 9 ]) in
+  let customer_long = Rib.rank (learned ~rel:Types.Customer (p [ 2; 3; 4; 9 ])) in
+  let provider_short = Rib.rank (learned ~rel:Types.Provider (p [ 9 ])) in
+  let peer_short = Rib.rank (learned ~rel:Types.Peer_link (p [ 9 ])) in
   checkb "customer beats shorter provider route" true (customer_long < provider_short);
   checkb "customer beats shorter peer route" true (customer_long < peer_short);
   checkb "peer beats provider" true (peer_short < provider_short)
@@ -149,8 +157,8 @@ let prop_rib_best_is_minimal =
       let by_peer = Hashtbl.create 8 in
       List.iter
         (fun (peer, kind, path) ->
-          Rib.set_in rib 9 ~peer ~kind path;
-          Hashtbl.replace by_peer peer (kind, path))
+          Rib.set_in rib 9 ~peer ~kind (p path);
+          Hashtbl.replace by_peer peer (kind, p path))
         entries;
       ignore (Rib.decide rib 9);
       match Rib.best rib 9 with
@@ -162,6 +170,32 @@ let prop_rib_best_is_minimal =
                >= Rib.rank (Rib.Learned e))
           by_peer true
       | _ -> false)
+
+(* The packed int key must induce exactly the ordering of the reference
+   tuple rank, for every preference class / length / kind / peer mix. *)
+let prop_packed_rank_isomorphic =
+  let best_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (1, return Rib.Local);
+          ( 9,
+            map3
+              (fun peer (kind, rel) hops ->
+                Rib.Learned { Rib.peer; kind; path = p hops; rel })
+              (0 -- 40)
+              (pair
+                 (map (fun b -> if b then Types.Ebgp else Types.Ibgp) bool)
+                 (oneofl
+                    [ None; Some Types.Customer; Some Types.Peer_link; Some Types.Provider ]))
+              (list_size (0 -- 8) (100 -- 140)) );
+        ])
+  in
+  QCheck.Test.make ~name:"packed rank ordering = tuple rank ordering" ~count:2000
+    (QCheck.make QCheck.Gen.(pair best_gen best_gen))
+    (fun (a, b) ->
+      Stdlib.compare (Rib.rank a) (Rib.rank b)
+      = Int.compare (Rib.packed_rank a) (Rib.packed_rank b))
 
 (* --- Router harness ---------------------------------------------------------- *)
 
@@ -183,7 +217,8 @@ let make_fixture ?(config = Config.default) ?(asn = 0) ~peers () =
     }
   in
   let router =
-    Router.create ~sched ~rng:(Rng.create 1) ~config ~id:0 ~asn ~degree:(List.length peers)
+    Router.create ~sched ~rng:(Rng.create 1) ~paths:tbl ~config ~id:0 ~asn
+      ~degree:(List.length peers)
       cb
   in
   List.iter
@@ -204,7 +239,7 @@ let test_router_originates () =
   List.iter
     (fun (_, u) ->
       match u with
-      | Types.Advertise { dest = 0; path = [ 0 ] } -> ()
+      | Types.Advertise { dest = 0; path } when Path.hops path = [ 0 ] -> ()
       | u -> Alcotest.failf "unexpected update %a" Types.pp_update u)
     adverts
 
@@ -214,13 +249,13 @@ let test_router_forwards_best () =
   Sched.run fx.sched;
   fx.sent := [];
   (* Peer 1 advertises dest 9. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run fx.sched;
   (* Must be re-advertised only to peer 2 (peer 1's AS is in the path). *)
   (match sent_in_order fx with
-  | [ (2, Types.Advertise { dest = 9; path = [ 0; 1; 9 ] }) ] -> ()
+  | [ (2, Types.Advertise { dest = 9; path }) ] when Path.hops path = [ 0; 1; 9 ] -> ()
   | l -> Alcotest.failf "unexpected sends (%d)" (List.length l));
-  Alcotest.check (Alcotest.option path_t) "installed" (Some [ 1; 9 ])
+  Alcotest.check (Alcotest.option path_t) "installed" (Some (p [ 1; 9 ]))
     (Router.best_path_to fx.router 9)
 
 let test_router_receiver_loop_check () =
@@ -228,7 +263,7 @@ let test_router_receiver_loop_check () =
   Router.start fx.router;
   Sched.run fx.sched;
   (* A path containing our own AS must be discarded. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 0; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 0; 9 ]);
   Sched.run fx.sched;
   checkb "looped path not installed" true (Router.best_path_to fx.router 9 = None)
 
@@ -236,7 +271,7 @@ let test_router_withdraw_propagates () =
   let fx = make_fixture ~config:no_jitter ~peers:[ (1, 1, Types.Ebgp); (2, 2, Types.Ebgp) ] () in
   Router.start fx.router;
   Sched.run fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run fx.sched;
   fx.sent := [];
   Router.receive fx.router ~src:1 (Types.Withdraw 9);
@@ -254,13 +289,13 @@ let test_router_mrai_coalesces () =
   Router.start fx.router;
   Sched.run fx.sched;
   fx.sent := [];
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run fx.sched;
   checki "first advert out immediately" 1 (List.length !(fx.sent));
   (* A better route arrives while peer 2's timer runs. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Router.receive fx.router ~src:1 (Types.Withdraw 9);
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 5; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 5; 9 ]);
   Sched.run fx.sched;
   let to_peer2 =
     List.filter_map
@@ -272,7 +307,7 @@ let test_router_mrai_coalesces () =
   let adverts = List.filter (fun u -> not (Types.is_withdrawal u)) to_peer2 in
   checki "adverts coalesced by the MRAI" 2 (List.length adverts);
   match List.rev adverts with
-  | Types.Advertise { path = [ 0; 1; 5; 9 ]; _ } :: _ -> ()
+  | Types.Advertise { path; _ } :: _ when Path.hops path = [ 0; 1; 5; 9 ] -> ()
   | _ -> Alcotest.fail "final advert must carry the final path"
 
 let test_router_mrai_timer_spacing () =
@@ -294,7 +329,7 @@ let test_router_mrai_timer_spacing () =
     ignore
       (Sched.schedule fx.sched ~delay:(0.1 *. float_of_int i) (fun () ->
            Router.receive fx.router ~src:1
-             (Types.Advertise { dest = 9; path = (if i mod 2 = 0 then [ 1; 9 ] else [ 1; 5; 9 ]) })))
+             (adv 9 (if i mod 2 = 0 then [ 1; 9 ] else [ 1; 5; 9 ]))))
   done;
   let rec pump () = if Sched.step fx.sched then (record (); pump ()) in
   pump ();
@@ -311,7 +346,7 @@ let test_router_peer_down_removes_routes () =
   let fx = make_fixture ~config:no_jitter ~peers:[ (1, 1, Types.Ebgp); (2, 2, Types.Ebgp) ] () in
   Router.start fx.router;
   Sched.run fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run fx.sched;
   fx.sent := [];
   Router.peer_down fx.router 1;
@@ -329,7 +364,7 @@ let test_router_stale_update_from_dead_peer_ignored () =
   Router.start fx.router;
   Sched.run fx.sched;
   (* The update is queued, then the session drops before processing. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Router.peer_down fx.router 1;
   Sched.run fx.sched;
   checkb "stale update discarded" true (Router.best_path_to fx.router 9 = None)
@@ -340,7 +375,7 @@ let test_router_fail_goes_silent () =
   Sched.run fx.sched;
   fx.sent := [];
   Router.fail fx.router;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run fx.sched;
   checkb "failed router is silent" true (!(fx.sent) = []);
   checkb "failed router learns nothing" true (Router.best_path_to fx.router 9 = None);
@@ -356,7 +391,7 @@ let test_router_ibgp_nontransit () =
   Router.start fx.router;
   Sched.run fx.sched;
   fx.sent := [];
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 7; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 7; 9 ]);
   Sched.run fx.sched;
   let sends = sent_in_order fx in
   checkb "not echoed to iBGP peers" true
@@ -364,7 +399,7 @@ let test_router_ibgp_nontransit () =
   checkb "exported over eBGP with prepend" true
     (List.exists
        (fun (dst, u) ->
-         dst = 3 && u = Types.Advertise { dest = 9; path = [ 0; 7; 9 ] })
+         dst = 3 && u = adv 9 [ 0; 7; 9 ])
        sends)
 
 let test_router_ebgp_learned_goes_to_ibgp () =
@@ -375,12 +410,12 @@ let test_router_ebgp_learned_goes_to_ibgp () =
   Router.start fx.router;
   Sched.run fx.sched;
   fx.sent := [];
-  Router.receive fx.router ~src:3 (Types.Advertise { dest = 9; path = [ 3; 9 ] });
+  Router.receive fx.router ~src:3 (adv 9 [ 3; 9 ]);
   Sched.run fx.sched;
   checkb "eBGP-learned goes to iBGP without prepend" true
     (List.exists
        (fun (dst, u) ->
-         dst = 1 && u = Types.Advertise { dest = 9; path = [ 3; 9 ] })
+         dst = 1 && u = adv 9 [ 3; 9 ])
        (sent_in_order fx))
 
 let test_router_sender_side_loop_check_off () =
@@ -389,7 +424,7 @@ let test_router_sender_side_loop_check_off () =
   Router.start fx.router;
   Sched.run fx.sched;
   fx.sent := [];
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run fx.sched;
   (* Without the check the route is advertised back to peer 1 even though
      peer 1 will drop it. *)
@@ -401,7 +436,7 @@ let test_router_mrai_on_withdrawals () =
   let fx = make_fixture ~config ~peers:[ (1, 1, Types.Ebgp); (2, 2, Types.Ebgp) ] () in
   Router.start fx.router;
   Sched.run fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   (* Drain only a short window so peer 2's 30 s MRAI timer is still
      running when the withdrawal arrives. *)
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
@@ -423,9 +458,9 @@ let test_router_per_dest_mrai () =
   Router.start fx.router;
   Sched.run fx.sched;
   fx.sent := [];
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 8; path = [ 1; 8 ] });
+  Router.receive fx.router ~src:1 (adv 8 [ 1; 8 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   let adverts_to_2 =
     List.filter (fun (dst, u) -> dst = 2 && not (Types.is_withdrawal u)) (sent_in_order fx)
@@ -439,19 +474,19 @@ let test_router_cancel_on_improvement () =
   let fx = make_fixture ~config ~peers:[ (1, 1, Types.Ebgp); (2, 2, Types.Ebgp) ] () in
   Router.start fx.router;
   Sched.run fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 5; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 5; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   fx.sent := [];
   (* Improvement: shorter path arrives while peer 2's timer runs. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   checkb "improvement bypasses the timer" true
     (List.exists
-       (fun (dst, u) -> dst = 2 && u = Types.Advertise { dest = 9; path = [ 0; 1; 9 ] })
+       (fun (dst, u) -> dst = 2 && u = adv 9 [ 0; 1; 9 ])
        (sent_in_order fx));
   fx.sent := [];
   (* Degradation: longer path must wait for expiry. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 5; 6; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 5; 6; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   checkb "degradation is still paced" true
     (not (List.exists (fun (dst, _) -> dst = 2) (sent_in_order fx)));
@@ -459,7 +494,7 @@ let test_router_cancel_on_improvement () =
   checkb "degradation goes out at expiry" true
     (List.exists
        (fun (dst, u) ->
-         dst = 2 && u = Types.Advertise { dest = 9; path = [ 0; 1; 5; 6; 9 ] })
+         dst = 2 && u = adv 9 [ 0; 1; 5; 6; 9 ])
        (sent_in_order fx))
 
 let test_router_flap_threshold () =
@@ -469,17 +504,17 @@ let test_router_flap_threshold () =
   let fx = make_fixture ~config ~peers:[ (1, 1, Types.Ebgp); (2, 2, Types.Ebgp) ] () in
   Router.start fx.router;
   Sched.run fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   fx.sent := [];
   (* Change 1 while the timer runs: flap count 1 < 2 -> immediate. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 5; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 5; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   checkb "first flap bypasses the MRAI" true
     (List.exists (fun (dst, _) -> dst = 2) (sent_in_order fx));
   fx.sent := [];
   (* Change 2: flap count reaches the threshold -> paced. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 6; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 6; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   checkb "second flap is paced" true
     (not (List.exists (fun (dst, _) -> dst = 2) (sent_in_order fx)));
@@ -505,11 +540,11 @@ let test_router_damping_suppresses_and_reuses () =
   Sched.run fx.sched;
   (* Flap dest 9 hard: advertise / withdraw / advertise / withdraw /
      advertise — the final advertisement arrives suppressed. *)
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Router.receive fx.router ~src:1 (Types.Withdraw 9);
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Router.receive fx.router ~src:1 (Types.Withdraw 9);
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run ~until:(Sched.now fx.sched +. 1.0) fx.sched;
   checkb "route suppressed despite advertisement" true
     (Router.best_path_to fx.router 9 = None);
@@ -518,7 +553,7 @@ let test_router_damping_suppresses_and_reuses () =
   (* Let the penalty decay: the parked route must come back by itself. *)
   Sched.run fx.sched;
   Alcotest.check (Alcotest.option path_t) "route reinstated at reuse time"
-    (Some [ 1; 9 ])
+    (Some (p [ 1; 9 ]))
     (Router.best_path_to fx.router 9)
 
 let test_router_damping_clean_routes_unaffected () =
@@ -528,17 +563,17 @@ let test_router_damping_clean_routes_unaffected () =
   let fx = make_fixture ~config ~peers:[ (1, 1, Types.Ebgp) ] () in
   Router.start fx.router;
   Sched.run fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Sched.run fx.sched;
   Alcotest.check (Alcotest.option path_t) "single advertisement installs normally"
-    (Some [ 1; 9 ])
+    (Some (p [ 1; 9 ]))
     (Router.best_path_to fx.router 9)
 
 let test_router_metrics () =
   let fx = make_fixture ~config:no_jitter ~peers:[ (1, 1, Types.Ebgp); (2, 2, Types.Ebgp) ] () in
   Router.start fx.router;
   Sched.run fx.sched;
-  Router.receive fx.router ~src:1 (Types.Advertise { dest = 9; path = [ 1; 9 ] });
+  Router.receive fx.router ~src:1 (adv 9 [ 1; 9 ]);
   Router.receive fx.router ~src:1 (Types.Withdraw 9);
   Sched.run fx.sched;
   let m = Router.metrics fx.router in
@@ -564,6 +599,7 @@ let () =
           Alcotest.test_case "drop peer" `Quick test_rib_drop_peer;
           Alcotest.test_case "rank order" `Quick test_rib_rank_order;
           qc prop_rib_best_is_minimal;
+          qc prop_packed_rank_isomorphic;
         ] );
       ( "router",
         [

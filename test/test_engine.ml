@@ -197,6 +197,28 @@ let prop_heap_interleaved =
             | _ -> false)
         ops)
 
+let test_heap_drain_shrinks_and_reuses () =
+  (* A full drain walks pop_exn through every shrink step; the order must
+     survive the reallocations and the heap must stay usable afterwards. *)
+  let h = Heap.create ~cmp:Int.compare in
+  for i = 0 to 999 do
+    Heap.push h (i * 7 mod 1000)
+  done;
+  let prev = ref min_int in
+  for _ = 1 to 1000 do
+    let x = Heap.pop_exn h in
+    checkb "nondecreasing across shrinks" true (x >= !prev);
+    prev := x
+  done;
+  checkb "empty after drain" true (Heap.is_empty h);
+  Alcotest.check_raises "pop_exn raises when drained"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () -> ignore (Heap.pop_exn h));
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check Alcotest.(list int) "reusable after drain" [ 1; 2; 3 ] (drain [])
+
 (* --- Scheduler ----------------------------------------------------------- *)
 
 let test_scheduler_order () =
@@ -278,6 +300,66 @@ let test_scheduler_zero_delay () =
   check Alcotest.(list string) "zero-delay runs after current" [ "first"; "zero" ]
     (List.rev !log)
 
+(* Model check for the slab scheduler: random push/cancel/step sequences
+   against a naive sorted-list model.  Exercises slot reuse (cancel frees
+   a slot, the next push reclaims it), stale-id cancellation, and the
+   (time, seq) tie-break. *)
+let prop_scheduler_model =
+  QCheck.Test.make ~name:"scheduler matches a sorted-list model (push/cancel/step)"
+    ~count:300
+    QCheck.(list (pair (int_bound 3) (pair small_nat (float_bound_inclusive 10.0))))
+    (fun ops ->
+      let s = Sched.create () in
+      let fired = ref [] in
+      let model = ref [] in
+      (* every id ever issued, newest first; cancels target these so both
+         live and stale ids get exercised *)
+      let issued = ref [] in
+      let next_seq = ref 0 in
+      let ok = ref true in
+      let model_min () =
+        match !model with
+        | [] -> None
+        | hd :: tl ->
+          Some
+            (List.fold_left
+               (fun ((bt, bs, _) as best) ((t, sq, _) as e) ->
+                 if t < bt || (t = bt && sq < bs) then e else best)
+               hd tl)
+      in
+      List.iter
+        (fun (op, (k, d)) ->
+          if !ok then begin
+            (match op with
+            | 0 | 1 ->
+              let seq = !next_seq in
+              incr next_seq;
+              let id = Sched.schedule s ~delay:d (fun () -> fired := seq :: !fired) in
+              model := (Sched.now s +. d, seq, id) :: !model;
+              issued := id :: !issued
+            | 2 ->
+              if !issued <> [] then begin
+                let id = List.nth !issued (k mod List.length !issued) in
+                Sched.cancel s id;
+                model := List.filter (fun (_, _, i) -> i <> id) !model
+              end
+            | _ -> (
+              match model_min () with
+              | None -> if Sched.step s then ok := false
+              | Some (t, seq, id) ->
+                if not (Sched.step s) then ok := false
+                else begin
+                  (match !fired with
+                  | f :: _ when f = seq -> ()
+                  | _ -> ok := false);
+                  if Sched.now s <> t then ok := false;
+                  model := List.filter (fun (_, _, i) -> i <> id) !model
+                end));
+            if Sched.pending s <> List.length !model then ok := false
+          end)
+        ops;
+      !ok)
+
 let prop_scheduler_executes_in_time_order =
   QCheck.Test.make ~name:"scheduler executes in nondecreasing time order" ~count:100
     QCheck.(list (float_bound_inclusive 100.0))
@@ -353,6 +435,8 @@ let () =
           Alcotest.test_case "sorts" `Quick test_heap_sorts;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "drain shrinks and reuses" `Quick
+            test_heap_drain_shrinks_and_reuses;
           qc prop_heap_sorts;
           qc prop_heap_interleaved;
         ] );
@@ -366,6 +450,7 @@ let () =
           Alcotest.test_case "run until" `Quick test_scheduler_until;
           Alcotest.test_case "past rejected" `Quick test_scheduler_past_rejected;
           Alcotest.test_case "zero delay" `Quick test_scheduler_zero_delay;
+          qc prop_scheduler_model;
           qc prop_scheduler_executes_in_time_order;
         ] );
       ( "stats",

@@ -21,6 +21,11 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let path_t = Alcotest.(option (list int))
 
+(* Paths are interned per network, so cross-network comparisons go
+   through the raw hop lists. *)
+let best_hops router dest =
+  Option.map Bgp_proto.Path.hops (Router.best_path_to router dest)
+
 (* Build a fixed topology from an edge list (one router per AS). *)
 let fixed_topo n edges =
   let g = Graph.create n in
@@ -47,11 +52,11 @@ let test_line_converges () =
   Sched.run sched;
   checki "queue drained" 0 (Sched.pending sched);
   Alcotest.check path_t "0 -> 3 via the chain" (Some [ 1; 2; 3 ])
-    (Router.best_path_to (Network.router net 0) 3);
+    (best_hops (Network.router net 0) 3);
   Alcotest.check path_t "3 -> 0" (Some [ 2; 1; 0 ])
-    (Router.best_path_to (Network.router net 3) 0);
+    (best_hops (Network.router net 3) 0);
   Alcotest.check path_t "1 -> 2 direct" (Some [ 2 ])
-    (Router.best_path_to (Network.router net 1) 2)
+    (best_hops (Network.router net 1) 2)
 
 let test_ring_prefers_shorter_arc () =
   (* 6-ring: 0..5; 0 -> 3 has two equal arcs, 0 -> 2 a unique short one. *)
@@ -131,7 +136,7 @@ let test_failed_dest_unreachable () =
     [ 0; 1; 3 ];
   (* And the ring heals around the hole. *)
   Alcotest.check path_t "1 -> 3 reroutes via 0" (Some [ 0; 3 ])
-    (Router.best_path_to (Network.router net 1) 3)
+    (best_hops (Network.router net 1) 3)
 
 let std_scenario ?(config = Config.default) ?(frac = 0.05) ?(seed = 3) ?(n = 50) () =
   Runner.scenario
@@ -261,11 +266,13 @@ let assert_warmup_equivalence topo =
     for dest = 0 to topo.Topology.n_ases - 1 do
       let ctx = Printf.sprintf "router %d dest %d" r dest in
       Alcotest.check path_t (ctx ^ ": selection")
-        (Router.best_path_to router_sim dest)
-        (Router.best_path_to router_ana dest);
+        (best_hops router_sim dest)
+        (best_hops router_ana dest);
       let entries router =
         List.map
-          (fun e -> (e.Bgp_proto.Rib.peer, e.Bgp_proto.Rib.kind, e.Bgp_proto.Rib.path))
+          (fun e ->
+            (e.Bgp_proto.Rib.peer, e.Bgp_proto.Rib.kind,
+             Bgp_proto.Path.hops e.Bgp_proto.Rib.path))
           (Bgp_proto.Rib.entries_in (Router.rib router) dest)
       in
       checkb (ctx ^ ": adj-rib-in") true (entries router_sim = entries router_ana);
@@ -273,8 +280,8 @@ let assert_warmup_equivalence topo =
         (fun peer ->
           Alcotest.check path_t
             (Printf.sprintf "%s: adj-rib-out to %d" ctx peer)
-            (Router.advertised_to router_sim ~peer dest)
-            (Router.advertised_to router_ana ~peer dest))
+            (Option.map Bgp_proto.Path.hops (Router.advertised_to router_sim ~peer dest))
+            (Option.map Bgp_proto.Path.hops (Router.advertised_to router_ana ~peer dest)))
         (Router.peer_ids router_sim)
     done
   done
@@ -310,8 +317,8 @@ let test_warmup_equivalence_no_sender_check () =
     for dest = 0 to 24 do
       Alcotest.check path_t
         (Printf.sprintf "router %d dest %d" r dest)
-        (Router.best_path_to (Network.router net_sim r) dest)
-        (Router.best_path_to (Network.router net_ana r) dest)
+        (best_hops (Network.router net_sim r) dest)
+        (best_hops (Network.router net_ana r) dest)
     done
   done
 
@@ -556,12 +563,13 @@ let test_prefixes_per_as_routes () =
     for dest = 0 to 59 do
       match Router.best_path_to (Network.router net r) dest with
       | Some path ->
+        let hops = Bgp_proto.Path.hops path in
         let origin = Config.origin_as config ~dest in
         if r <> origin then
           checki
             (Printf.sprintf "router %d dest %d path ends at its origin" r dest)
             origin
-            (List.nth path (List.length path - 1))
+            (List.nth hops (List.length hops - 1))
       | None -> Alcotest.failf "router %d missing dest %d" r dest
     done
   done
@@ -606,8 +614,8 @@ let test_prefixes_analytic_equivalence () =
     for dest = 0 to 29 do
       Alcotest.check path_t
         (Printf.sprintf "router %d dest %d" r dest)
-        (Router.best_path_to (Network.router net_sim r) dest)
-        (Router.best_path_to (Network.router net_ana r) dest)
+        (best_hops (Network.router net_sim r) dest)
+        (best_hops (Network.router net_ana r) dest)
     done
   done
 

@@ -8,6 +8,7 @@ module Session = Bgp_proto.Session
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
+let paths = Bgp_proto.Path.create_table ()
 
 (* A pair of endpoints joined by a lossy-capable wire with 25 ms delay. *)
 type endpoint = {
@@ -163,7 +164,8 @@ let test_update_gating () =
   Session.start a.session;
   Sched.run ~until:1.0 sched;
   checkb "update accepted when established" true
-    (Session.send_update a.session (Types.Advertise { dest = 7; path = [ 10; 7 ] }));
+    (Session.send_update a.session
+       (Types.Advertise { dest = 7; path = Bgp_proto.Path.of_list paths [ 10; 7 ] }));
   Sched.run ~until:2.0 sched;
   (match b.delivered with
   | [ Types.Advertise { dest = 7; _ } ] -> ()
