@@ -34,6 +34,9 @@ module Verdicts = Bgp_experiments.Verdicts
 module Ablations = Bgp_experiments.Ablations
 module Bench_report = Bgp_experiments.Bench_report
 module Pool = Bgp_engine.Pool
+module Runner = Bgp_netsim.Runner
+module Config = Bgp_proto.Config
+module Mrai = Bgp_core.Mrai_controller
 
 type mode = {
   opts : Scenarios.opts;
@@ -263,7 +266,7 @@ let bench_queue discipline name =
          let q = Bgp_core.Input_queue.create discipline in
          for i = 0 to 999 do
            Bgp_core.Input_queue.push q
-             { Bgp_core.Input_queue.src = i mod 8; dest = i mod 50; payload = i }
+             { Bgp_core.Input_queue.src = i mod 8; dest = i mod 50; payload = i; cause = -1; enqueued = 0.0 }
          done;
          while not (Bgp_core.Input_queue.is_empty q) do
            ignore (Bgp_core.Input_queue.pop q)
@@ -361,6 +364,39 @@ let () =
   if mode.figs then run_figures mode report;
   if mode.ablations then run_ablations mode report;
   if mode.micro then run_micro ();
+  (* One small traced reference run, so every bench report records where
+     a typical run's convergence delay went (causal critical path). *)
+  Option.iter
+    (fun r ->
+      let trace = Bgp_netsim.Trace.create () in
+      let scenario =
+        Runner.scenario
+          ~net:
+            {
+              (Bgp_netsim.Network.config_default
+                 { Config.default with Config.mrai_scheme = Mrai.Static 1.25 })
+              with
+              Bgp_netsim.Network.trace = Some trace;
+            }
+          ~failure:(Runner.Fraction 0.1) ~seed:1
+          (Runner.Flat { spec = Bgp_topology.Degree_dist.skewed_70_30; n = 24 })
+      in
+      let result = Runner.run scenario in
+      Option.iter
+        (fun (attr : Bgp_netsim.Attribution.t) ->
+          Bench_report.set_attribution r
+            {
+              Bench_report.attr_scenario = "flat 70-30 n=24 mrai=1.25 failure=0.1 seed=1";
+              attr_delay = attr.Bgp_netsim.Attribution.convergence_delay;
+              attr_queueing = attr.totals.Bgp_netsim.Attribution.queueing;
+              attr_processing = attr.totals.processing;
+              attr_mrai_hold = attr.totals.mrai_hold;
+              attr_propagation = attr.totals.propagation;
+              attr_hops = List.length attr.critical_path;
+              attr_complete = attr.complete;
+            })
+        result.Runner.attribution)
+    report;
   match (mode.bench_json, report) with
   | Some path, Some r ->
     Bench_report.write r path;

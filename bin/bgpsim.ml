@@ -3,12 +3,15 @@
    Examples:
      bgpsim --nodes 120 --failure 0.05 --mrai 1.25
      bgpsim --scheme dynamic --failure 0.10 --trials 5
-     bgpsim --scheme degree --batching --failure 0.20 --validate *)
+     bgpsim --scheme degree --batching --failure 0.20 --validate
+     bgpsim analyze --nodes 64 --failure 0.10 --mrai 1.25 --json attr.json *)
 
 open Cmdliner
 
 module Runner = Bgp_netsim.Runner
 module Network = Bgp_netsim.Network
+module Trace = Bgp_netsim.Trace
+module Attribution = Bgp_netsim.Attribution
 module Config = Bgp_proto.Config
 module Mrai = Bgp_core.Mrai_controller
 module Iq = Bgp_core.Input_queue
@@ -20,7 +23,7 @@ let spec_of_string = function
   | "85-15" -> Ok Degree_dist.skewed_85_15
   | "50-50-dense" -> Ok Degree_dist.skewed_50_50_dense
   | "internet" -> Ok Degree_dist.internet_like
-  | s -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  | s -> Error (Printf.sprintf "unknown topology %S" s)
 
 let scheme_of ~name ~mrai ~low ~high ~up_th ~down_th =
   match name with
@@ -36,158 +39,281 @@ let scheme_of ~name ~mrai ~low ~high ~up_th ~down_th =
           })
   | s -> Error (Printf.sprintf "unknown scheme %S (static|degree|dynamic)" s)
 
-let run nodes realistic spec_name failure seed trials jobs scheme_name mrai low high
-    up_th down_th batching tcp_batch per_dest bypass_name damping policies analytic
-    hold_time trace_n probe_interval telemetry_dir validate quiet =
+(* The scenario-defining options, shared by the default run command and
+   [analyze]. *)
+type opts = {
+  nodes : int;
+  realistic : bool;
+  spec_name : string;
+  failure : float;
+  seed : int;
+  scheme_name : string;
+  mrai : float;
+  low : float;
+  high : float;
+  up_th : float;
+  down_th : float;
+  batching : bool;
+  tcp_batch : int option;
+  per_dest : bool;
+  bypass_name : string;
+  damping : bool;
+  policies : bool;
+  analytic : bool;
+  hold_time : float option;
+  validate : bool;
+}
+
+(* Build the scenario (minus trace/telemetry, which differ per command). *)
+let build_scenario o =
+  match spec_of_string o.spec_name with
+  | Error m -> Error m
+  | Ok spec -> (
+    match
+      scheme_of ~name:o.scheme_name ~mrai:o.mrai ~low:o.low ~high:o.high ~up_th:o.up_th
+        ~down_th:o.down_th
+    with
+    | Error m -> Error m
+    | Ok scheme -> (
+      match
+        match o.bypass_name with
+        | "none" -> Ok Config.No_bypass
+        | "improvement" -> Ok Config.Cancel_on_improvement
+        | "flap2" -> Ok (Config.Flap_threshold 2)
+        | s -> Error (Printf.sprintf "unknown bypass %S (none|improvement|flap2)" s)
+      with
+      | Error m -> Error m
+      | Ok mrai_bypass ->
+        let queue_discipline =
+          if o.batching then Iq.Batched
+          else
+            match o.tcp_batch with
+            | Some batch_size -> Iq.Tcp_batch { batch_size }
+            | None -> Iq.Fifo
+        in
+        let config =
+          {
+            Config.default with
+            Config.mrai_scheme = scheme;
+            queue_discipline;
+            mrai_mode = (if o.per_dest then Config.Per_dest else Config.Per_peer);
+            mrai_bypass;
+            damping = (if o.damping then Some Bgp_core.Damping.sim_config else None);
+          }
+        in
+        let topo =
+          if o.realistic then
+            Runner.Realistic (Bgp_topology.As_topology.default ~n_ases:o.nodes)
+          else Runner.Flat { spec; n = o.nodes }
+        in
+        let net_config =
+          let base = Network.config_default config in
+          match o.hold_time with
+          | None -> base
+          | Some hold_time ->
+            {
+              base with
+              Network.detection =
+                Network.Hold_timer
+                  { Bgp_proto.Session.default_config with Bgp_proto.Session.hold_time };
+            }
+        in
+        Ok
+          (Runner.scenario ~net:net_config ~failure:(Runner.Fraction o.failure)
+             ~seed:o.seed ~validate:o.validate
+             ~warmup:(if o.analytic then Runner.Analytic else Runner.Simulated)
+             ~policies:o.policies topo)))
+
+let pp_attr_line ppf (attr : Attribution.t) =
+  Fmt.pf ppf
+    "queueing %.2f + processing %.2f + mrai %.2f + propagation %.2f = %.2f s (%d hops%s)"
+    attr.Attribution.totals.Attribution.queueing attr.totals.processing
+    attr.totals.mrai_hold attr.totals.propagation
+    (Attribution.total attr.totals)
+    (List.length attr.critical_path)
+    (if attr.complete then "" else ", INCOMPLETE")
+
+(* --- run (default command) ----------------------------------------------- *)
+
+let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir quiet =
   if jobs < 0 then begin
     Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
     exit 1
   end;
-  match spec_of_string spec_name with
-  | Error (`Msg m) ->
+  match build_scenario opts with
+  | Error m ->
     Fmt.epr "error: %s@." m;
     1
-  | Ok spec -> (
-    match scheme_of ~name:scheme_name ~mrai ~low ~high ~up_th ~down_th with
-    | Error m ->
-      Fmt.epr "error: %s@." m;
-      1
-    | Ok scheme ->
-      let queue_discipline =
-        if batching then Iq.Batched
-        else
-          match tcp_batch with
-          | Some batch_size -> Iq.Tcp_batch { batch_size }
-          | None -> Iq.Fifo
-      in
-      let mrai_bypass =
-        match bypass_name with
-        | "none" -> Config.No_bypass
-        | "improvement" -> Config.Cancel_on_improvement
-        | "flap2" -> Config.Flap_threshold 2
-        | s -> failwith (Printf.sprintf "unknown bypass %S (none|improvement|flap2)" s)
-      in
-      let config =
-        {
-          Config.default with
-          Config.mrai_scheme = scheme;
-          queue_discipline;
-          mrai_mode = (if per_dest then Config.Per_dest else Config.Per_peer);
-          mrai_bypass;
-          damping = (if damping then Some Bgp_core.Damping.sim_config else None);
-        }
-      in
-      let topo =
-        if realistic then
-          Runner.Realistic (Bgp_topology.As_topology.default ~n_ases:nodes)
-        else Runner.Flat { spec; n = nodes }
-      in
-      let trace =
-        match trace_n with None -> None | Some _ -> Some (Bgp_netsim.Trace.create ())
-      in
-      (* Telemetry is a per-run spec (each trial builds its own instance),
-         so unlike the trace it composes with any trial/job count. *)
-      let telemetry =
-        match (probe_interval, telemetry_dir) with
-        | None, None -> None
-        | interval, _ ->
-          Some (Bgp_netsim.Telemetry.config ?probe_interval:interval ())
-      in
-      let net_config =
-        let base = { (Network.config_default config) with Network.telemetry = telemetry } in
-        match hold_time with
-        | None -> base
-        | Some hold_time ->
-          {
-            base with
-            Network.detection =
-              Network.Hold_timer
-                { Bgp_proto.Session.default_config with Bgp_proto.Session.hold_time };
-          }
-      in
-      let scenario =
-        Runner.scenario ~net:net_config ~failure:(Runner.Fraction failure) ~seed ~validate
-          ~warmup:(if analytic then Runner.Analytic else Runner.Simulated)
-          ~policies topo
-      in
-      let delays = Bgp_engine.Stats.create () in
-      let msgs = Bgp_engine.Stats.create () in
-      let ok = ref true in
-      (* Trials are independent (one seed, RNG and scheduler each), so
-         they fan out over a domain pool; results are identical to the
-         sequential order for any job count.  A shared trace buffer is
-         the one cross-trial object, so tracing attaches to the first
-         trial only and forces one job. *)
-      let jobs =
-        match trace with
-        | Some _ ->
-          if jobs <> 1 && not quiet then
-            Fmt.epr "note: --trace forces --jobs 1 (trace attaches to the first trial)@.";
-          1
-        | None -> if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs
-      in
-      let results =
-        Bgp_engine.Pool.map ~jobs Runner.run
-          (List.init trials (fun i ->
-               let net =
-                 if i = 0 then { net_config with Network.trace } else net_config
-               in
-               { scenario with Runner.seed = seed + i; Runner.net = net }))
-      in
+  | Ok scenario ->
+    let seed = opts.seed in
+    let net_config = scenario.Runner.net in
+    (* Telemetry is a per-run spec (each trial builds its own instance),
+       so it composes with any trial/job count. *)
+    let telemetry =
+      match (probe_interval, telemetry_dir) with
+      | None, None -> None
+      | interval, _ -> Some (Bgp_netsim.Telemetry.config ?probe_interval:interval ())
+    in
+    let net_config = { net_config with Network.telemetry } in
+    (* Tracing: each trial gets its own trace instance, so tracing
+       composes with the domain pool.  The exception is --trace-file (one
+       shared JSONL file): concurrent trials cannot share it, so it
+       attaches to the first trial only and forces one job. *)
+    let shared_file = trace_file <> None in
+    let want_trace = trace_n <> None || shared_file in
+    let jobs =
+      if shared_file then begin
+        if jobs <> 1 && not quiet then
+          Fmt.epr
+            "note: --trace-file forces --jobs 1 (the trace file attaches to the first \
+             trial only)@.";
+        1
+      end
+      else if jobs = 0 then Bgp_engine.Pool.default_jobs ()
+      else jobs
+    in
+    let traces =
+      List.init trials (fun i ->
+          if not want_trace then None
+          else if shared_file then
+            if i = 0 then Some (Trace.create ?spill:trace_file ()) else None
+          else Some (Trace.create ()))
+    in
+    let delays = Bgp_engine.Stats.create () in
+    let msgs = Bgp_engine.Stats.create () in
+    let ok = ref true in
+    (* Trials are independent (one seed, RNG and scheduler each), so they
+       fan out over a domain pool; results are identical to the
+       sequential order for any job count. *)
+    let results =
+      Bgp_engine.Pool.map ~jobs Runner.run
+        (List.init trials (fun i ->
+             let net = { net_config with Network.trace = List.nth traces i } in
+             { scenario with Runner.seed = seed + i; Runner.net = net }))
+    in
+    List.iteri
+      (fun i r ->
+        Bgp_engine.Stats.add delays r.Runner.convergence_delay;
+        Bgp_engine.Stats.add msgs (float_of_int r.Runner.messages);
+        if not r.Runner.converged then ok := false;
+        if r.Runner.issues <> [] then begin
+          ok := false;
+          List.iter
+            (fun i -> Fmt.epr "invariant: %a@." Bgp_netsim.Validate.pp_issue i)
+            r.Runner.issues
+        end;
+        if not quiet then begin
+          Fmt.pr
+            "seed %3d: delay %8.2f s, %7d msgs (%d adverts, %d withdrawals), peak \
+             queue %d, eliminated %d@."
+            (seed + i) r.Runner.convergence_delay r.Runner.messages r.Runner.adverts
+            r.Runner.withdrawals r.Runner.max_queue r.Runner.eliminated;
+          Option.iter
+            (fun rep ->
+              Fmt.pr "          telemetry: %a@." Bgp_netsim.Telemetry.pp_summary rep)
+            r.Runner.report;
+          Option.iter
+            (fun attr -> Fmt.pr "          attribution: %a@." pp_attr_line attr)
+            r.Runner.attribution
+        end)
+      results;
+    Fmt.pr "convergence delay: %a@." Bgp_engine.Stats.pp_summary
+      (Bgp_engine.Stats.summarize delays);
+    Fmt.pr "update messages  : %a@." Bgp_engine.Stats.pp_summary
+      (Bgp_engine.Stats.summarize msgs);
+    (match (List.nth_opt traces 0, trace_n) with
+    | Some (Some trace), Some limit ->
+      Fmt.pr "@.last %d trace events of trial 0 (%d in memory, %d spilled, %d dropped):@."
+        limit (Trace.length trace) (Trace.spilled trace) (Trace.dropped trace);
+      Trace.dump ~limit Fmt.stdout trace;
+      Fmt.pr "@.busiest senders:@.";
+      List.iteri
+        (fun i (router, count) ->
+          if i < 10 then Fmt.pr "  router %3d: %d updates@." router count)
+        (Trace.sends_by_router trace)
+    | _ -> ());
+    (* --trace-file: make the file the complete record — the sink only
+       received events evicted from the ring, so append the rest. *)
+    (match (List.nth_opt traces 0, trace_file) with
+    | Some (Some trace), Some path ->
+      Trace.close trace;
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      List.iter
+        (fun e ->
+          output_string oc (Trace.event_to_json e);
+          output_char oc '\n')
+        (Trace.to_list trace);
+      close_out oc;
+      if not quiet then
+        Fmt.pr "wrote complete trial-0 trace (%d events) to %s@."
+          (Trace.spilled trace + Trace.length trace)
+          path
+    | _ -> ());
+    (match telemetry_dir with
+    | None -> ()
+    | Some dir ->
       List.iteri
         (fun i r ->
-          Bgp_engine.Stats.add delays r.Runner.convergence_delay;
-          Bgp_engine.Stats.add msgs (float_of_int r.Runner.messages);
-          if not r.Runner.converged then ok := false;
-          if r.Runner.issues <> [] then begin
-            ok := false;
-            List.iter
-              (fun i -> Fmt.epr "invariant: %a@." Bgp_netsim.Validate.pp_issue i)
-              r.Runner.issues
-          end;
-          if not quiet then begin
-            Fmt.pr
-              "seed %3d: delay %8.2f s, %7d msgs (%d adverts, %d withdrawals), peak \
-               queue %d, eliminated %d@."
-              (seed + i) r.Runner.convergence_delay r.Runner.messages r.Runner.adverts
-              r.Runner.withdrawals r.Runner.max_queue r.Runner.eliminated;
-            Option.iter
-              (fun rep ->
-                Fmt.pr "          telemetry: %a@." Bgp_netsim.Telemetry.pp_summary rep)
-              r.Runner.report
-          end)
-        results;
-      Fmt.pr "convergence delay: %a@." Bgp_engine.Stats.pp_summary
-        (Bgp_engine.Stats.summarize delays);
-      Fmt.pr "update messages  : %a@." Bgp_engine.Stats.pp_summary
-        (Bgp_engine.Stats.summarize msgs);
-      (match (trace, trace_n) with
-      | Some trace, Some limit ->
-        Fmt.pr "@.last %d trace events (of %d recorded, %d dropped):@." limit
-          (Bgp_netsim.Trace.length trace)
-          (Bgp_netsim.Trace.dropped trace);
-        Bgp_netsim.Trace.dump ~limit Fmt.stdout trace;
-        Fmt.pr "@.busiest senders:@.";
-        List.iteri
-          (fun i (router, count) ->
-            if i < 10 then Fmt.pr "  router %3d: %d updates@." router count)
-          (Bgp_netsim.Trace.sends_by_router trace)
-      | _ -> ());
-      (match telemetry_dir with
-      | None -> ()
-      | Some dir ->
-        List.iteri
-          (fun i r ->
-            Option.iter
-              (fun rep ->
-                let prefix = Printf.sprintf "seed%d_" (seed + i) in
-                let paths = Bgp_netsim.Telemetry.export ~dir ~prefix rep in
-                if not quiet then
-                  Fmt.pr "wrote %d telemetry files to %s (prefix %s)@."
-                    (List.length paths) dir prefix)
-              r.Runner.report)
-          results);
-      if !ok then 0 else 1)
+          Option.iter
+            (fun rep ->
+              let prefix = Printf.sprintf "seed%d_" (seed + i) in
+              let paths = Bgp_netsim.Telemetry.export ~dir ~prefix rep in
+              if not quiet then
+                Fmt.pr "wrote %d telemetry files to %s (prefix %s)@." (List.length paths)
+                  dir prefix)
+            r.Runner.report)
+        results);
+    if !ok then 0 else 1
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let analyze_main opts capacity spill json_path top max_hops quiet =
+  match build_scenario opts with
+  | Error m ->
+    Fmt.epr "error: %s@." m;
+    1
+  | Ok scenario ->
+    let trace = Trace.create ~capacity ?spill () in
+    let scenario =
+      { scenario with Runner.net = { scenario.Runner.net with Network.trace = Some trace } }
+    in
+    let r = Runner.run scenario in
+    let code =
+      match r.Runner.attribution with
+      | None ->
+        Fmt.epr "error: no attribution produced (internal)@.";
+        1
+      | Some attr ->
+        if not quiet then begin
+          Fmt.pr
+            "seed %3d: delay %8.2f s, %7d msgs, %d trace events (%d spilled, %d \
+             dropped)@."
+            opts.seed r.Runner.convergence_delay r.Runner.messages
+            (Trace.spilled trace + Trace.length trace)
+            (Trace.spilled trace) (Trace.dropped trace);
+          Fmt.pr "%a" (Attribution.pp ~top ~max_hops) attr
+        end;
+        (match json_path with
+        | None -> ()
+        | Some "-" -> print_endline (Attribution.to_json ~top attr)
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Attribution.to_json ~top attr);
+          output_char oc '\n';
+          close_out oc;
+          if not quiet then Fmt.pr "wrote %s@." path);
+        if Trace.dropped trace > 0 || not attr.Attribution.complete then
+          Fmt.epr
+            "warning: the trace dropped %d events and the causal chain is %s — raise \
+             --capacity or set --spill FILE@."
+            (Trace.dropped trace)
+            (if attr.Attribution.complete then "complete anyway" else "incomplete");
+        if r.Runner.converged then 0 else 1
+    in
+    Trace.close trace;
+    code
+
+(* --- Command line -------------------------------------------------------- *)
 
 let nodes =
   Arg.(value & opt int 120 & info [ "n"; "nodes" ] ~doc:"Routers (flat) or ASes (realistic).")
@@ -210,8 +336,9 @@ let jobs =
   Arg.(value & opt int 0
        & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Run trials on N domains in parallel (0 = one per recommended core). \
-                 Each trial owns its seed, RNG and scheduler, so the output is \
-                 identical for every N; --trace forces N=1 (trials share the buffer).")
+                 Each trial owns its seed, RNG, scheduler and (with --trace) trace \
+                 buffer, so the output is identical for every N; only --trace-file \
+                 forces N=1 (trials would share one file).")
 
 let scheme_name =
   Arg.(value & opt string "static"
@@ -253,13 +380,53 @@ let hold_time =
 let per_dest =
   Arg.(value & flag & info [ "per-dest-mrai" ] ~doc:"Per-destination MRAI timers.")
 
+let validate =
+  Arg.(value & flag & info [ "validate" ] ~doc:"Check routing invariants after each phase.")
+
+let opts_term =
+  let mk nodes realistic spec_name failure seed scheme_name mrai low high up_th down_th
+      batching tcp_batch per_dest bypass_name damping policies analytic hold_time
+      validate =
+    {
+      nodes;
+      realistic;
+      spec_name;
+      failure;
+      seed;
+      scheme_name;
+      mrai;
+      low;
+      high;
+      up_th;
+      down_th;
+      batching;
+      tcp_batch;
+      per_dest;
+      bypass_name;
+      damping;
+      policies;
+      analytic;
+      hold_time;
+      validate;
+    }
+  in
+  Term.(
+    const mk $ nodes $ realistic $ spec_name $ failure $ seed $ scheme_name $ mrai $ low
+    $ high $ up_th $ down_th $ batching $ tcp_batch $ per_dest $ bypass_name $ damping
+    $ policies $ analytic $ hold_time $ validate)
+
 let trace_n =
   Arg.(value & opt (some int) None
        & info [ "trace" ] ~docv:"N"
-           ~doc:"Record an event trace and print the last N events.  The trace \
-                 attaches to the first trial only (other trials run untraced) and \
-                 forces --jobs 1; it composes with --probe-interval on multi-trial \
-                 runs.")
+           ~doc:"Record an event trace per trial (each trial gets its own buffer, so \
+                 this composes with --jobs) and print the last N events of the first \
+                 trial, plus a per-trial delay attribution line.")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace-file" ] ~docv:"PATH"
+           ~doc:"Write the first trial's complete event trace to PATH as JSONL (one \
+                 shared file, so this forces --jobs 1; other trials run untraced).")
 
 let probe_interval =
   Arg.(value & opt (some float) None
@@ -277,19 +444,61 @@ let telemetry_dir =
                  Implies telemetry at the default 0.5 s probe interval unless \
                  --probe-interval is given.")
 
-let validate =
-  Arg.(value & flag & info [ "validate" ] ~doc:"Check routing invariants after each phase.")
-
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary.")
+
+let run_term =
+  Term.(
+    const run_main $ opts_term $ trials $ jobs $ trace_n $ trace_file $ probe_interval
+    $ telemetry_dir $ quiet)
+
+let capacity =
+  Arg.(value & opt int 1_000_000
+       & info [ "capacity" ] ~docv:"N"
+           ~doc:"Trace ring-buffer capacity in events; causal chains through evicted \
+                 events come back incomplete (see --spill).")
+
+let spill =
+  Arg.(value & opt (some string) None
+       & info [ "spill" ] ~docv:"PATH"
+           ~doc:"Spill evicted trace events to PATH as JSONL instead of dropping \
+                 them, so the analysis stays complete beyond --capacity events.")
+
+let json_path =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"PATH"
+           ~doc:"Also write the attribution as JSON (schema bgp-attr/1) to PATH, or \
+                 to stdout for '-'.")
+
+let top =
+  Arg.(value & opt int 5
+       & info [ "top" ] ~docv:"K" ~doc:"Routers to list by critical-path residency.")
+
+let max_hops =
+  Arg.(value & opt int 40
+       & info [ "max-hops" ] ~docv:"N"
+           ~doc:"Critical-path hops to print (keeps both ends when longer).")
+
+let analyze_cmd =
+  let doc = "attribute one run's convergence delay to its causes" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a single traced trial of the scenario, recovers the causal chain from \
+         the failure to the last route change (the critical path), and decomposes the \
+         convergence delay into queueing, processing, MRAI hold and propagation time \
+         — per hop, per router, and in total.  The component totals sum exactly to \
+         the measured convergence delay.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc ~man)
+    Term.(
+      const analyze_main $ opts_term $ capacity $ spill $ json_path $ top $ max_hops
+      $ quiet)
 
 let cmd =
   let doc = "simulate BGP re-convergence after a large-scale failure" in
-  Cmd.v
-    (Cmd.info "bgpsim" ~doc)
-    Term.(
-      const run $ nodes $ realistic $ spec_name $ failure $ seed $ trials $ jobs
-      $ scheme_name $ mrai $ low $ high $ up_th $ down_th $ batching $ tcp_batch
-      $ per_dest $ bypass_name $ damping $ policies $ analytic $ hold_time $ trace_n
-      $ probe_interval $ telemetry_dir $ validate $ quiet)
+  Cmd.group ~default:run_term (Cmd.info "bgpsim" ~doc) [ analyze_cmd ]
 
 let () = exit (Cmd.eval' cmd)

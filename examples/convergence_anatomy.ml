@@ -44,7 +44,7 @@ let () =
   let drops =
     List.filter_map
       (function
-        | Trace.Session_down { time; router; peer } -> Some (time, router, peer)
+        | Trace.Session_down { time; router; peer; _ } -> Some (time, router, peer)
         | _ -> None)
       (Trace.to_list trace)
   in

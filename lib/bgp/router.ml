@@ -20,7 +20,9 @@ type peer_state = {
   mutable timer_event : Sched.event_id option;
   (* Per-dest MRAI mode: destinations with a running timer. *)
   dest_timers : (dest, Sched.event_id) Hashtbl.t;
-  pending : (dest, unit) Hashtbl.t;
+  (* Pending destinations, with (when last marked pending, trace cause id).
+     Both extras are ignored when tracing is off. *)
+  pending : (dest, float * int) Hashtbl.t;
   advertised : (dest, path) Hashtbl.t;  (* Adj-RIB-Out *)
   flaps : (dest, int) Hashtbl.t;
       (* route changes since the last paced flush (Flap_threshold bypass) *)
@@ -29,6 +31,19 @@ type peer_state = {
 type callbacks = {
   send : src:router_id -> dst:router_id -> update -> unit;
   activity : time:float -> unit;
+}
+
+type tracer = {
+  on_processed :
+    router:router_id ->
+    src:router_id ->
+    dest:dest ->
+    enqueued:float ->
+    started:float ->
+    cause:int ->
+    int;
+  on_mrai_flush :
+    router:router_id -> peer:router_id -> dest:dest -> ready:float -> cause:int -> int;
 }
 
 type t = {
@@ -50,6 +65,11 @@ type t = {
       (* the eBGP controller reacts to load; when false the per-message
          load-window accounting and level checks are skipped entirely *)
   cb : callbacks;
+  tracer : tracer option;
+  (* Trace id of the event whose handling is currently executing: the
+     [Processed] completion or [Mrai_flush] that any update sent right now
+     is caused by.  [-1] when untraced or outside any handler. *)
+  mutable cur_cause : int;
   mutable busy : bool;
   mutable failed : bool;
   mutable last_level : int;  (* for dynamic_restart_timers *)
@@ -70,7 +90,7 @@ type t = {
   mutable rib_changes : int;  (* export-relevant Loc-RIB revisions *)
 }
 
-let create ~sched ~rng ~paths ~config ~id ~asn ~degree cb =
+let create ~sched ~rng ~paths ~config ~id ~asn ~degree ?tracer cb =
   let ebgp_controller = Mrai.make config.Config.mrai_scheme ~degree in
   {
     id;
@@ -89,6 +109,8 @@ let create ~sched ~rng ~paths ~config ~id ~asn ~degree cb =
     mean_proc = Dist.mean config.Config.processing_delay;
     adaptive = Mrai.is_adaptive ebgp_controller;
     cb;
+    tracer;
+    cur_cause = -1;
     busy = false;
     failed = false;
     last_level = 0;
@@ -108,6 +130,7 @@ let create ~sched ~rng ~paths ~config ~id ~asn ~degree cb =
 
 let id t = t.id
 let asn t = t.asn
+let current_cause t = t.cur_cause
 let rib t = t.rib
 let is_failed t = t.failed
 let peer_ids t = t.peer_list
@@ -224,6 +247,19 @@ let flush_target t peer dest target =
 
 let flush_dest t peer dest = flush_target t peer dest (export_target t peer dest)
 
+(* Mark [dest] pending towards [peer], remembering when it became
+   MRAI-eligible and which event made it so (for the Mrai_flush trace
+   event recorded at timer expiry). *)
+let pend t peer dest = Hashtbl.replace peer.pending dest (Sched.now t.sched, t.cur_cause)
+
+(* About to flush [dest] at timer expiry: record the Mrai_flush event and
+   make it the cause of the updates the flush emits. *)
+let set_flush_cause t peer dest ~ready ~cause =
+  match t.tracer with
+  | Some tr ->
+    t.cur_cause <- tr.on_mrai_flush ~router:t.id ~peer:peer.peer_id ~dest ~ready ~cause
+  | None -> ()
+
 let rec start_timer t peer =
   let interval = effective_interval t peer in
   if interval > 0.0 then begin
@@ -236,11 +272,17 @@ and on_peer_timer t peer =
   peer.timer_running <- false;
   peer.timer_event <- None;
   if (not t.failed) && peer.up then begin
-    let dests = Hashtbl.fold (fun d () acc -> d :: acc) peer.pending [] in
-    let dests = List.sort Int.compare dests in
+    let dests = Hashtbl.fold (fun d rc acc -> (d, rc) :: acc) peer.pending [] in
+    let dests = List.sort (fun (a, _) (b, _) -> Int.compare a b) dests in
     Hashtbl.reset peer.pending;
     Hashtbl.reset peer.flaps;
-    let sent = List.fold_left (fun acc d -> if flush_dest t peer d then true else acc) false dests in
+    let sent =
+      List.fold_left
+        (fun acc (d, (ready, cause)) ->
+          set_flush_cause t peer d ~ready ~cause;
+          if flush_dest t peer d then true else acc)
+        false dests
+    in
     if sent then start_timer t peer
   end
 
@@ -255,11 +297,14 @@ let rec start_dest_timer t peer dest =
 
 and on_dest_timer t peer dest =
   Hashtbl.remove peer.dest_timers dest;
-  if (not t.failed) && peer.up && Hashtbl.mem peer.pending dest then begin
-    Hashtbl.remove peer.pending dest;
-    Hashtbl.remove peer.flaps dest;
-    if flush_dest t peer dest then start_dest_timer t peer dest
-  end
+  if (not t.failed) && peer.up then
+    match Hashtbl.find_opt peer.pending dest with
+    | None -> ()
+    | Some (ready, cause) ->
+      Hashtbl.remove peer.pending dest;
+      Hashtbl.remove peer.flaps dest;
+      set_flush_cause t peer dest ~ready ~cause;
+      if flush_dest t peer dest then start_dest_timer t peer dest
 
 let after_send t peer dest =
   match t.config.Config.mrai_mode with
@@ -313,7 +358,7 @@ let schedule_export t peer dest =
       else begin
         let flap_count = bump_flaps peer dest in
         match t.config.Config.mrai_bypass with
-        | Config.No_bypass -> Hashtbl.replace peer.pending dest ()
+        | Config.No_bypass -> pend t peer dest
         | Config.Cancel_on_improvement ->
           if is_improvement peer dest path then begin
             cancel_gate_timer t peer dest;
@@ -321,7 +366,7 @@ let schedule_export t peer dest =
             ignore (flush_target t peer dest target);
             after_send t peer dest
           end
-          else Hashtbl.replace peer.pending dest ()
+          else pend t peer dest
         | Config.Flap_threshold k ->
           if flap_count < k then begin
             (* Below the flap threshold the MRAI is not applied to this
@@ -330,7 +375,7 @@ let schedule_export t peer dest =
             Hashtbl.remove peer.pending dest;
             ignore (flush_target t peer dest target)
           end
-          else Hashtbl.replace peer.pending dest ()
+          else pend t peer dest
       end
     | None, Some _ ->
       if t.config.Config.mrai_on_withdrawals then begin
@@ -338,7 +383,7 @@ let schedule_export t peer dest =
           ignore (flush_target t peer dest target);
           after_send t peer dest
         end
-        else Hashtbl.replace peer.pending dest ()
+        else pend t peer dest
       end
       else begin
         (* RFC behaviour: withdrawals are not rate-limited. *)
@@ -412,6 +457,9 @@ let rec schedule_reuse_check t damping ~src ~dest =
                  | Some (kind, path) ->
                    Hashtbl.remove t.parked (src, dest);
                    Rib.set_in t.rib dest ~peer:src ~kind path;
+                   (* Reuse is driven by penalty decay, not by a traced
+                      event: exports it triggers are causal roots. *)
+                   t.cur_cause <- -1;
                    reconsider t dest;
                    activity t
                  | None -> ()
@@ -492,6 +540,14 @@ and complete t item delay =
       t.busy_in_window <- t.busy_in_window +. delay
     end;
     t.msgs_processed <- t.msgs_processed + 1;
+    (match t.tracer with
+    | Some tr ->
+      t.cur_cause <-
+        tr.on_processed ~router:t.id ~src:item.src ~dest:item.dest
+          ~enqueued:item.enqueued
+          ~started:(Sched.now t.sched -. delay)
+          ~cause:item.cause
+    | None -> ());
     handle_work t item;
     observe_load t;
     if t.adaptive then rearm_running_timers t;
@@ -499,7 +555,7 @@ and complete t item delay =
     begin_next t
   end
 
-let enqueue t ~src ~dest work =
+let enqueue t ?(cause = -1) ~src ~dest work =
   if not t.failed then begin
     if t.adaptive then begin
       roll_window t;
@@ -507,13 +563,14 @@ let enqueue t ~src ~dest work =
       | Update_msg _ -> t.msgs_in_window <- t.msgs_in_window + 1
       | _ -> ())
     end;
-    Iq.push t.input { Iq.src; dest; payload = work };
+    Iq.push t.input { Iq.src; dest; payload = work; cause; enqueued = Sched.now t.sched };
     observe_load t;
     if t.adaptive then rearm_running_timers t;
     if not t.busy then begin_next t
   end
 
-let receive t ~src update = enqueue t ~src ~dest:(update_dest update) (Update_msg update)
+let receive t ?cause ~src update =
+  enqueue t ?cause ~src ~dest:(update_dest update) (Update_msg update)
 
 let cancel_peer_timers t peer =
   (match peer.timer_event with
@@ -525,7 +582,7 @@ let cancel_peer_timers t peer =
   Hashtbl.iter (fun _ ev -> Sched.cancel t.sched ev) peer.dest_timers;
   Hashtbl.reset peer.dest_timers
 
-let peer_down t peer_id =
+let peer_down t ?cause peer_id =
   if not t.failed then
     match Hashtbl.find_opt t.peers peer_id with
     | None -> ()
@@ -535,7 +592,7 @@ let peer_down t peer_id =
         cancel_peer_timers t peer;
         Hashtbl.reset peer.pending;
         Hashtbl.reset peer.flaps;
-        enqueue t ~src:peer_id ~dest:(-1) Peer_down_msg
+        enqueue t ?cause ~src:peer_id ~dest:(-1) Peer_down_msg
       end
 
 let start t =

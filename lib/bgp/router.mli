@@ -31,6 +31,27 @@ type callbacks = {
           detection) *)
 }
 
+(** Causal-tracing hooks (opt-in; see {!Bgp_netsim.Trace}).  Each hook
+    records an event and returns its trace id; the router remembers it as
+    {!current_cause} while the triggered exports run, so the network layer
+    can stamp outgoing updates with their cause. *)
+type tracer = {
+  on_processed :
+    router:router_id ->
+    src:router_id ->
+    dest:dest ->
+    enqueued:float ->
+    started:float ->
+    cause:int ->
+    int;
+      (** a work item finished processing; [dest] is [-1] for peer-down
+          work, [cause] is the trace id that enqueued it *)
+  on_mrai_flush :
+    router:router_id -> peer:router_id -> dest:dest -> ready:float -> cause:int -> int;
+      (** an MRAI timer fired and [dest] is being flushed to [peer];
+          [ready] is when it was last marked pending *)
+}
+
 val create :
   sched:Bgp_engine.Scheduler.t ->
   rng:Bgp_engine.Rng.t ->
@@ -39,6 +60,7 @@ val create :
   id:router_id ->
   asn:as_id ->
   degree:int ->
+  ?tracer:tracer ->
   callbacks ->
   t
 (** [degree] is the value the degree-dependent MRAI scheme keys on
@@ -81,14 +103,21 @@ val warm_install :
 val advertised_to : t -> peer:router_id -> dest -> path option
 (** Current Adj-RIB-Out entry (what was last advertised to the peer). *)
 
-val receive : t -> src:router_id -> update -> unit
+val receive : t -> ?cause:int -> src:router_id -> update -> unit
 (** Called by the network layer when a message arrives (after link
-    delay).  Enqueues the message for processing. *)
+    delay).  Enqueues the message for processing.  [cause] is the trace
+    id of the delivery event (default [-1], untraced). *)
 
-val peer_down : t -> router_id -> unit
+val peer_down : t -> ?cause:int -> router_id -> unit
 (** The session to [peer] dropped: stop sending to it and enqueue the
     removal of everything learned from it (one work item, one
-    processing-delay draw). *)
+    processing-delay draw).  [cause] is the trace id of the session-down
+    event (default [-1], untraced). *)
+
+val current_cause : t -> int
+(** Trace id of the event whose handling is currently executing — the
+    cause any update sent right now should carry.  [-1] when untraced or
+    outside any traced handler. *)
 
 val fail : t -> unit
 (** This router dies: it stops processing, sending, and receiving. *)

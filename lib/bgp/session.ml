@@ -16,13 +16,13 @@ type message =
   | Open of { asn : as_id; hold_time : float }
   | Keepalive
   | Notification of string
-  | Update_msg of update
+  | Update_msg of { update : update; cause : int }
 
 let pp_message ppf = function
   | Open { asn; hold_time } -> Fmt.pf ppf "OPEN(as%d, hold=%g)" asn hold_time
   | Keepalive -> Fmt.string ppf "KEEPALIVE"
   | Notification reason -> Fmt.pf ppf "NOTIFICATION(%s)" reason
-  | Update_msg u -> Fmt.pf ppf "UPDATE(%a)" pp_update u
+  | Update_msg { update; cause = _ } -> Fmt.pf ppf "UPDATE(%a)" pp_update update
 
 type config = { hold_time : float; keepalive_fraction : float; jitter : bool }
 
@@ -32,7 +32,7 @@ type callbacks = {
   send_wire : message -> unit;
   on_established : unit -> unit;
   on_closed : reason:string -> unit;
-  deliver_update : update -> unit;
+  deliver_update : cause:int -> update -> unit;
 }
 
 type t = {
@@ -176,17 +176,17 @@ let handle_wire t message =
     | Established -> restart_hold_timer t
     | Open_sent | Idle -> ())
   | Notification reason -> go_idle t ~reason:("peer: " ^ reason) ~notify:false
-  | Update_msg update -> (
+  | Update_msg { update; cause } -> (
     match t.state with
     | Established ->
       restart_hold_timer t;
       t.updates_delivered <- t.updates_delivered + 1;
-      t.cb.deliver_update update
+      t.cb.deliver_update ~cause update
     | Idle | Open_sent | Open_confirm -> ())
 
-let send_update t update =
+let send_update t ?(cause = -1) update =
   if t.state = Established then begin
-    t.cb.send_wire (Update_msg update);
+    t.cb.send_wire (Update_msg { update; cause });
     true
   end
   else false

@@ -18,7 +18,10 @@ type message =
   | Open of { asn : as_id; hold_time : float }
   | Keepalive
   | Notification of string
-  | Update_msg of update
+  | Update_msg of { update : update; cause : int }
+      (** [cause] is the trace id of the event that emitted the update
+          ([-1] when untraced); it rides the wire so the receiving side can
+          link its delivery event to the sender's ({!Bgp_netsim.Trace}) *)
 
 val pp_message : Format.formatter -> message -> unit
 
@@ -37,7 +40,8 @@ type callbacks = {
   send_wire : message -> unit;  (** hand a message to the transport *)
   on_established : unit -> unit;
   on_closed : reason:string -> unit;
-  deliver_update : update -> unit;  (** an UPDATE arrived in Established *)
+  deliver_update : cause:int -> update -> unit;
+      (** an UPDATE arrived in Established; [cause] as in [Update_msg] *)
 }
 
 type t
@@ -56,9 +60,10 @@ val start : t -> unit
 val handle_wire : t -> message -> unit
 (** Feed a message from the transport (any state). *)
 
-val send_update : t -> update -> bool
+val send_update : t -> ?cause:int -> update -> bool
 (** [false] if the session is not Established (the update is dropped, as
-    BGP has no session-less delivery). *)
+    BGP has no session-less delivery).  [cause] defaults to [-1]
+    (untraced). *)
 
 val close : t -> reason:string -> unit
 (** Local administrative teardown: NOTIFICATION, then Idle. *)

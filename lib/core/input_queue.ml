@@ -10,7 +10,7 @@ let discipline_name = function
   | Fifo_dedup -> "fifo-dedup"
   | Tcp_batch { batch_size } -> Printf.sprintf "tcp-batch(%d)" batch_size
 
-type 'a item = { src : int; dest : int; payload : 'a }
+type 'a item = { src : int; dest : int; payload : 'a; cause : int; enqueued : float }
 
 (* All disciplines are built on doubly-linked cells so that stale-update
    elimination is O(1) once the cell is found via the (src, dest) index. *)

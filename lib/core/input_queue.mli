@@ -30,7 +30,13 @@ type discipline =
 
 val discipline_name : discipline -> string
 
-type 'a item = { src : int; dest : int; payload : 'a }
+type 'a item = {
+  src : int;
+  dest : int;
+  payload : 'a;
+  cause : int;  (** trace id of the event that enqueued this item; [-1] if untraced *)
+  enqueued : float;  (** simulation time the item entered the queue *)
+}
 
 type 'a t
 

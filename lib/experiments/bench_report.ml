@@ -23,15 +23,31 @@ type micro = {
   ops_per_s : float;
 }
 
+type attribution = {
+  attr_scenario : string;
+  attr_delay : float;
+  attr_queueing : float;
+  attr_processing : float;
+  attr_mrai_hold : float;
+  attr_propagation : float;
+  attr_hops : int;
+  attr_complete : bool;
+}
+
 type t = {
   trials : int;
   n : int;
   jobs : int;
   mutable entries_rev : entry list;
   mutable micros_rev : micro list;
+  mutable attribution : attribution option;
 }
 
-let create ~trials ~n ~jobs = { trials; n; jobs; entries_rev = []; micros_rev = [] }
+let create ~trials ~n ~jobs =
+  { trials; n; jobs; entries_rev = []; micros_rev = []; attribution = None }
+
+let set_attribution t a = t.attribution <- Some a
+let attribution t = t.attribution
 
 let micro ~name ~iters ~wall =
   let per_op = if iters > 0 then wall /. float_of_int iters else 0.0 in
@@ -138,7 +154,25 @@ let to_json t =
       buf_float buf m.ops_per_s;
       Buffer.add_char buf '}')
     (micros t);
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ]";
+  (match t.attribution with
+  | None -> ()
+  | Some a ->
+    Buffer.add_string buf ",\n  \"attribution\": {\"scenario\": ";
+    buf_string buf a.attr_scenario;
+    Buffer.add_string buf ", \"convergence_delay_s\": ";
+    buf_float buf a.attr_delay;
+    Buffer.add_string buf ", \"queueing_s\": ";
+    buf_float buf a.attr_queueing;
+    Buffer.add_string buf ", \"processing_s\": ";
+    buf_float buf a.attr_processing;
+    Buffer.add_string buf ", \"mrai_hold_s\": ";
+    buf_float buf a.attr_mrai_hold;
+    Buffer.add_string buf ", \"propagation_s\": ";
+    buf_float buf a.attr_propagation;
+    Printf.bprintf buf ", \"critical_hops\": %d, \"complete\": %b}" a.attr_hops
+      a.attr_complete);
+  Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 
 let write t path =

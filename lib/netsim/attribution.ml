@@ -1,0 +1,247 @@
+type components = {
+  queueing : float;
+  processing : float;
+  mrai_hold : float;
+  propagation : float;
+}
+
+let zero = { queueing = 0.0; processing = 0.0; mrai_hold = 0.0; propagation = 0.0 }
+
+let add a b =
+  {
+    queueing = a.queueing +. b.queueing;
+    processing = a.processing +. b.processing;
+    mrai_hold = a.mrai_hold +. b.mrai_hold;
+    propagation = a.propagation +. b.propagation;
+  }
+
+let total c = c.queueing +. c.processing +. c.mrai_hold +. c.propagation
+
+type hop = { event : Trace.event; parts : components }
+type router_stat = { router : int; residency : float; parts : components; hops : int }
+
+type t = {
+  t_fail : float;
+  convergence_delay : float;
+  complete : bool;
+  totals : components;
+  critical_path : hop list;
+  per_router : router_stat list;
+  aggregate : components;
+  events : int;
+}
+
+(* Decompose one event's hop latency — its time minus its cause's time
+   ([gap]) — into the four components.  Whatever a constructor cannot
+   account for from its own timestamps is propagation, so the parts sum
+   to [gap] by construction and the chain telescopes exactly. *)
+let parts_of_event event ~gap =
+  match event with
+  | Trace.Processed { time; enqueued; started; _ } ->
+    let queueing = started -. enqueued in
+    let processing = time -. started in
+    { queueing; processing; mrai_hold = 0.0; propagation = gap -. queueing -. processing }
+  | Trace.Mrai_flush { time; ready; _ } ->
+    let mrai_hold = time -. ready in
+    { zero with mrai_hold; propagation = gap -. mrai_hold }
+  | Trace.Update_sent _ | Trace.Update_delivered _ | Trace.Session_down _
+  | Trace.Router_failed _ ->
+    { zero with propagation = gap }
+
+let analyze ~t_fail events =
+  let post = List.filter (fun e -> Trace.time_of e >= t_fail) events in
+  let n_events = List.length post in
+  let by_id = Hashtbl.create (2 * n_events) in
+  List.iter (fun e -> Hashtbl.replace by_id (Trace.id_of e) e) post;
+  (* The gap of [event] to its cause, or to [t_fail] for roots; [None]
+     when the cause was evicted from the ring (chain broken). *)
+  let gap_of event =
+    let cause = Trace.cause_of event in
+    if cause = Trace.no_cause then Some (Trace.time_of event -. t_fail)
+    else
+      match Hashtbl.find_opt by_id cause with
+      | Some c -> Some (Trace.time_of event -. Trace.time_of c)
+      | None -> None
+  in
+  (* Terminal: latest timestamp; among simultaneous events the highest id
+     (recorded last, hence causally downstream). *)
+  let terminal =
+    List.fold_left
+      (fun acc e ->
+        match acc with
+        | None -> Some e
+        | Some best ->
+          let te = Trace.time_of e and tb = Trace.time_of best in
+          if te > tb || (te = tb && Trace.id_of e > Trace.id_of best) then Some e
+          else acc)
+      None post
+  in
+  match terminal with
+  | None ->
+    {
+      t_fail;
+      convergence_delay = 0.0;
+      complete = true;
+      totals = zero;
+      critical_path = [];
+      per_router = [];
+      aggregate = zero;
+      events = 0;
+    }
+  | Some terminal ->
+    (* Walk the cause chain terminal -> root, building the path root
+       first. *)
+    let rec walk event acc =
+      let cause = Trace.cause_of event in
+      match gap_of event with
+      | None -> (false, { event; parts = zero } :: acc)
+      | Some gap ->
+        let hop = { event; parts = parts_of_event event ~gap } in
+        if cause = Trace.no_cause then (true, hop :: acc)
+        else walk (Hashtbl.find by_id cause) (hop :: acc)
+    in
+    let complete, critical_path = walk terminal [] in
+    let totals =
+      List.fold_left (fun acc (hop : hop) -> add acc hop.parts) zero critical_path
+    in
+    let per_router =
+      let table = Hashtbl.create 16 in
+      List.iter
+        (fun (hop : hop) ->
+          let r = Trace.router_of hop.event in
+          let parts, hops =
+            Option.value ~default:(zero, 0) (Hashtbl.find_opt table r)
+          in
+          Hashtbl.replace table r (add parts hop.parts, hops + 1))
+        critical_path;
+      Hashtbl.fold
+        (fun router (parts, hops) acc ->
+          { router; residency = total parts; parts; hops } :: acc)
+        table []
+      |> List.sort (fun a b ->
+             match Float.compare b.residency a.residency with
+             | 0 -> Int.compare a.router b.router
+             | c -> c)
+    in
+    let aggregate =
+      List.fold_left
+        (fun acc e ->
+          match gap_of e with
+          | None -> acc
+          | Some gap -> add acc (parts_of_event e ~gap))
+        zero post
+    in
+    {
+      t_fail;
+      convergence_delay = Trace.time_of terminal -. t_fail;
+      complete;
+      totals;
+      critical_path;
+      per_router;
+      aggregate;
+      events = n_events;
+    }
+
+let of_trace ~t_fail trace = analyze ~t_fail (Trace.events trace)
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let buf_components buf c =
+  Printf.bprintf buf
+    "{\"queueing\":%s,\"processing\":%s,\"mrai_hold\":%s,\"propagation\":%s,\"total\":%s}"
+    (json_float c.queueing) (json_float c.processing) (json_float c.mrai_hold)
+    (json_float c.propagation)
+    (json_float (total c))
+
+let kind_of_event = function
+  | Trace.Update_sent _ -> "update_sent"
+  | Trace.Update_delivered _ -> "update_delivered"
+  | Trace.Processed _ -> "processed"
+  | Trace.Mrai_flush _ -> "mrai_flush"
+  | Trace.Router_failed _ -> "router_failed"
+  | Trace.Session_down _ -> "session_down"
+
+let to_json ?(top = 10) t =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\"schema\":\"bgp-attr/1\",\"t_fail\":%s,\"convergence_delay\":%s,\"complete\":%b,\"events\":%d,"
+    (json_float t.t_fail)
+    (json_float t.convergence_delay)
+    t.complete t.events;
+  Buffer.add_string buf "\"totals\":";
+  buf_components buf t.totals;
+  Buffer.add_string buf ",\"aggregate\":";
+  buf_components buf t.aggregate;
+  Buffer.add_string buf ",\"critical_path\":[";
+  List.iteri
+    (fun i hop ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"id\":%d,\"kind\":\"%s\",\"time\":%s,\"router\":%d,\"cause\":%d,\"parts\":"
+        (Trace.id_of hop.event)
+        (kind_of_event hop.event)
+        (json_float (Trace.time_of hop.event))
+        (Trace.router_of hop.event)
+        (Trace.cause_of hop.event);
+      buf_components buf hop.parts;
+      Buffer.add_char buf '}')
+    t.critical_path;
+  Buffer.add_string buf "],\"per_router\":[";
+  List.iteri
+    (fun i stat ->
+      if i < top then begin
+        if i > 0 then Buffer.add_char buf ',';
+        Printf.bprintf buf "{\"router\":%d,\"residency\":%s,\"hops\":%d,\"parts\":"
+          stat.router (json_float stat.residency) stat.hops;
+        buf_components buf stat.parts;
+        Buffer.add_char buf '}'
+      end)
+    t.per_router;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* --- Text report --------------------------------------------------------- *)
+
+let pct part whole = if whole <= 0.0 then 0.0 else 100.0 *. part /. whole
+
+let pp_components ppf c =
+  let whole = total c in
+  Fmt.pf ppf
+    "queueing %.4fs (%.1f%%) | processing %.4fs (%.1f%%) | mrai hold %.4fs (%.1f%%) | propagation %.4fs (%.1f%%)"
+    c.queueing (pct c.queueing whole) c.processing (pct c.processing whole) c.mrai_hold
+    (pct c.mrai_hold whole) c.propagation
+    (pct c.propagation whole)
+
+let pp ?(top = 5) ?(max_hops = 40) ppf t =
+  Fmt.pf ppf "Convergence-delay attribution@.";
+  Fmt.pf ppf "  failure injected at t=%.4f; converged %.4fs later%s@." t.t_fail
+    t.convergence_delay
+    (if t.complete then "" else "  [INCOMPLETE: trace dropped part of the chain]");
+  Fmt.pf ppf "  critical path: %a@." pp_components t.totals;
+  Fmt.pf ppf "  network-wide:  %a  (%d events)@." pp_components t.aggregate t.events;
+  let hops = List.length t.critical_path in
+  Fmt.pf ppf "  critical path (%d hops):@." hops;
+  (* Keep the ends of a long path: the root explains onset, the tail
+     explains the terminal delay. *)
+  let head_n = max_hops - (max_hops / 2) in
+  let tail_from = hops - (max_hops / 2) in
+  List.iteri
+    (fun i hop ->
+      if hops <= max_hops || i < head_n || i >= tail_from then
+        Fmt.pf ppf "    %a@." Trace.pp_event hop.event
+      else if i = head_n then Fmt.pf ppf "    ... (%d hops elided)@." (tail_from - head_n))
+    t.critical_path;
+  if t.per_router <> [] then begin
+    Fmt.pf ppf "  top routers by critical-path residency:@.";
+    List.iteri
+      (fun i stat ->
+        if i < top then
+          Fmt.pf ppf "    router %3d: %.4fs (%.1f%%) over %d hops — %a@." stat.router
+            stat.residency
+            (pct stat.residency t.convergence_delay)
+            stat.hops pp_components stat.parts)
+      t.per_router
+  end

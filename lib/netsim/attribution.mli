@@ -1,0 +1,84 @@
+(** Convergence-delay attribution over a causal trace ({!Trace}).
+
+    Walking cause pointers backwards from the last post-failure event
+    recovers the {e critical path}: the single causal chain whose total
+    latency is exactly the measured convergence delay.  Each hop's latency
+    (its timestamp minus its cause's) is decomposed into the four
+    components the paper's Figs 4–5 argue over — queueing, processing,
+    MRAI hold, and propagation — and the per-hop parts telescope, so the
+    component totals sum to the convergence delay {e exactly} (no float
+    tolerance needed beyond the additions themselves):
+
+    - [Processed]: queueing = started − enqueued, processing =
+      completion − started, remainder of the hop gap → propagation;
+    - [Mrai_flush]: MRAI hold = fire − ready, remainder → propagation;
+    - [Update_delivered] / [Session_down] / [Update_sent]: the whole hop
+      gap → propagation (link delay, failure-detection delay, residuals);
+    - the root hop (a [Router_failed] or cause-less [Session_down])
+      carries [time − t_fail] → propagation, so link-failure scenarios
+      (whose roots fire one detection delay after injection) attribute
+      that delay too.
+
+    The analysis is pure post-processing: it never touches the simulation
+    and can run over spilled-and-reloaded traces ({!Trace.events}). *)
+
+type components = {
+  queueing : float;  (** waiting in router input queues *)
+  processing : float;  (** being served by router CPUs *)
+  mrai_hold : float;  (** sitting pending behind a running MRAI timer *)
+  propagation : float;  (** link delay, failure detection, residuals *)
+}
+
+val zero : components
+val add : components -> components -> components
+
+val total : components -> float
+(** Sum of the four components. *)
+
+type hop = {
+  event : Trace.event;
+  parts : components;  (** this hop's share of the chain latency *)
+}
+
+type router_stat = {
+  router : int;
+  residency : float;  (** critical-path time spent at this router *)
+  parts : components;
+  hops : int;
+}
+
+type t = {
+  t_fail : float;
+  convergence_delay : float;
+      (** terminal event time − [t_fail]; [0.] when nothing happened *)
+  complete : bool;
+      (** the cause chain reached a root; [false] means the ring buffer
+          dropped part of the chain and the decomposition is a lower
+          bound *)
+  totals : components;
+      (** summed over the critical path; [total totals =
+          convergence_delay] when [complete] *)
+  critical_path : hop list;  (** root first, terminal last *)
+  per_router : router_stat list;
+      (** critical-path residency per router, busiest first *)
+  aggregate : components;
+      (** the same per-event decomposition summed over {e all}
+          post-failure events with a resolvable cause — where the whole
+          network's time went, not just the slowest chain *)
+  events : int;  (** post-failure events analyzed *)
+}
+
+val analyze : t_fail:float -> Trace.event list -> t
+(** Events at [time < t_fail] (warmup) are ignored. *)
+
+val of_trace : t_fail:float -> Trace.t -> t
+(** [analyze] over {!Trace.events} (includes spilled events). *)
+
+val to_json : ?top:int -> t -> string
+(** Schema ["bgp-attr/1"].  [top] (default 10) caps [per_router]; the
+    critical path is always emitted in full. *)
+
+val pp : ?top:int -> ?max_hops:int -> Format.formatter -> t -> unit
+(** Human-readable report: component totals with percentages, the
+    critical path (at most [max_hops], default 40, keeping the ends), and
+    the [top] (default 5) routers by residency. *)

@@ -124,6 +124,30 @@ let build ~sched ~rng ~config ?telemetry topo =
     }
   in
   let net = ref net in
+  (* Causal-tracing hooks for the routers: record Processed / Mrai_flush
+     events and hand back their ids so the router can stamp the exports
+     they trigger.  Absent when tracing is off — the router then skips
+     the hook calls entirely. *)
+  let tracer =
+    Option.map
+      (fun trace ->
+        {
+          Router.on_processed =
+            (fun ~router ~src ~dest ~enqueued ~started ~cause ->
+              let id = Trace.fresh_id trace in
+              Trace.record trace
+                (Trace.Processed
+                   { id; time = Sched.now sched; router; src; dest; enqueued; started; cause });
+              id);
+          on_mrai_flush =
+            (fun ~router ~peer ~dest ~ready ~cause ->
+              let id = Trace.fresh_id trace in
+              Trace.record trace
+                (Trace.Mrai_flush { id; time = Sched.now sched; router; peer; dest; ready; cause });
+              id);
+        })
+      config.trace
+  in
   (* Build routers with their own RNG streams (stable under changes to
      other routers' draw counts). *)
   let routers =
@@ -137,22 +161,44 @@ let build ~sched ~rng ~config ?telemetry topo =
                 (match update with
                 | Types.Advertise _ -> nref.n_adverts <- nref.n_adverts + 1
                 | Types.Withdraw _ -> nref.n_withdrawals <- nref.n_withdrawals + 1);
-                (match nref.config.trace with
+                match nref.config.trace with
+                | None ->
+                  ignore
+                    (Sched.schedule sched ~delay:nref.config.link_delay (fun () ->
+                         if not nref.failed.(dst) then
+                           Router.receive nref.routers.(dst) ~src update))
                 | Some trace ->
+                  (* Both branches schedule exactly one delivery event, so
+                     the scheduler (and hence the run) is bit-identical
+                     with tracing on or off. *)
+                  let sent_id = Trace.fresh_id trace in
                   Trace.record trace
-                    (Trace.Update_sent { time = Sched.now sched; src; dst; update })
-                | None -> ());
-                ignore
-                  (Sched.schedule sched ~delay:nref.config.link_delay (fun () ->
-                       if not nref.failed.(dst) then begin
-                         (match nref.config.trace with
-                         | Some trace ->
+                    (Trace.Update_sent
+                       {
+                         id = sent_id;
+                         time = Sched.now sched;
+                         src;
+                         dst;
+                         update;
+                         cause = Router.current_cause nref.routers.(src);
+                       });
+                  ignore
+                    (Sched.schedule sched ~delay:nref.config.link_delay (fun () ->
+                         if not nref.failed.(dst) then begin
+                           let deliver_id = Trace.fresh_id trace in
                            Trace.record trace
                              (Trace.Update_delivered
-                                { time = Sched.now sched; src; dst; update })
-                         | None -> ());
-                         Router.receive nref.routers.(dst) ~src update
-                       end)));
+                                {
+                                  id = deliver_id;
+                                  time = Sched.now sched;
+                                  src;
+                                  dst;
+                                  update;
+                                  cause = sent_id;
+                                });
+                           Router.receive nref.routers.(dst) ~cause:deliver_id ~src
+                             update
+                         end)));
             activity =
               (fun ~time ->
                 let nref = !net in
@@ -162,7 +208,7 @@ let build ~sched ~rng ~config ?telemetry topo =
         Router.create ~sched ~rng:router_rng ~paths ~config:config.bgp ~id:i
           ~asn:topo.Topology.as_of_router.(i)
           ~degree:(Topology.inter_as_degree topo i)
-          cb)
+          ?tracer cb)
   in
   net := { !net with routers };
   List.iter
@@ -228,12 +274,18 @@ let start_all t = Array.iter Router.start t.routers
 
 let inject_failure t failure =
   let n = num_routers t in
+  (* Trace ids of the Router_failed events, so each surviving peer's
+     Session_down can point at the failure that caused it. *)
+  let fail_ids = Array.make n Trace.no_cause in
   for r = 0 to n - 1 do
     if Failure.is_failed failure r && not t.failed.(r) then begin
       t.failed.(r) <- true;
       (match t.config.trace with
       | Some trace ->
-        Trace.record trace (Trace.Router_failed { time = Sched.now t.sched; router = r })
+        let id = Trace.fresh_id trace in
+        fail_ids.(r) <- id;
+        Trace.record trace
+          (Trace.Router_failed { id; time = Sched.now t.sched; router = r })
       | None -> ());
       Router.fail t.routers.(r)
     end
@@ -264,13 +316,20 @@ let inject_failure t failure =
               (Sched.schedule t.sched ~delay:(detection_sample ()) (fun () ->
                    if not t.failed.(peer) then begin
                      t.n_session_downs <- t.n_session_downs + 1;
-                     (match t.config.trace with
+                     match t.config.trace with
                      | Some trace ->
+                       let down_id = Trace.fresh_id trace in
                        Trace.record trace
                          (Trace.Session_down
-                            { time = Sched.now t.sched; router = peer; peer = r })
-                     | None -> ());
-                     Router.peer_down t.routers.(peer) r
+                            {
+                              id = down_id;
+                              time = Sched.now t.sched;
+                              router = peer;
+                              peer = r;
+                              cause = fail_ids.(r);
+                            });
+                       Router.peer_down t.routers.(peer) ~cause:down_id r
+                     | None -> Router.peer_down t.routers.(peer) r
                    end)))
         t.session_peers.(r)
   done
@@ -284,13 +343,20 @@ let inject_link_failures t links =
             (Sched.schedule t.sched ~delay:t.config.detection_delay (fun () ->
                  if not t.failed.(a) then begin
                    t.n_session_downs <- t.n_session_downs + 1;
-                   (match t.config.trace with
+                   match t.config.trace with
                    | Some trace ->
+                     let down_id = Trace.fresh_id trace in
                      Trace.record trace
                        (Trace.Session_down
-                          { time = Sched.now t.sched; router = a; peer = b })
-                   | None -> ());
-                   Router.peer_down t.routers.(a) b
+                          {
+                            id = down_id;
+                            time = Sched.now t.sched;
+                            router = a;
+                            peer = b;
+                            cause = Trace.no_cause;
+                          });
+                     Router.peer_down t.routers.(a) ~cause:down_id b
+                   | None -> Router.peer_down t.routers.(a) b
                  end))
       in
       notify u v;

@@ -50,6 +50,7 @@ type result = {
   survivors_connected : bool;
   issues : Validate.issue list;
   report : Telemetry.report option;
+  attribution : Attribution.t option;
 }
 
 let make_topology rng = function
@@ -131,6 +132,25 @@ let run s =
       if s.validate && converged then Validate.check net ~failure else []
   in
   let metrics = Network.sum_metrics net in
+  (* Post-hoc causal analysis of the traced run; pure read of the trace,
+     so it cannot perturb anything above. *)
+  let attribution =
+    Option.map
+      (fun trace -> Attribution.of_trace ~t_fail trace)
+      net_config.Network.trace
+  in
+  (* Fold the component totals into the telemetry report (read at
+     snapshot time below). *)
+  (match (tele, attribution) with
+  | Some t, Some attr ->
+    let reg name v = Telemetry.register t ~name ~kind:Telemetry.Gauge (fun () -> v) in
+    let open Attribution in
+    reg "attr.queueing" attr.totals.queueing;
+    reg "attr.processing" attr.totals.processing;
+    reg "attr.mrai_hold" attr.totals.mrai_hold;
+    reg "attr.propagation" attr.totals.propagation;
+    reg "attr.critical_hops" (float_of_int (List.length attr.critical_path))
+  | _ -> ());
   {
     converged;
     warmup_delay;
@@ -146,6 +166,7 @@ let run s =
     survivors_connected = Failure.survivors_connected topo failure;
     issues;
     report = Option.map Telemetry.report tele;
+    attribution;
   }
 
 let run_mean s ~trials ~metric =

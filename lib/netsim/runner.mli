@@ -69,6 +69,12 @@ type result = {
           With telemetry off the whole record is bit-identical to a run
           without the telemetry layer; with it on, only [events] differs
           (probe events), never a routing-relevant field *)
+  attribution : Attribution.t option;
+      (** causal convergence-delay attribution when [net.trace] is set;
+          [None] otherwise.  Tracing perturbs nothing: all other fields
+          (including [events]) are bit-identical with it on or off.  When
+          both trace and telemetry are set, the component totals also
+          appear in [report] as [attr.*] gauges *)
 }
 
 val run : scenario -> result

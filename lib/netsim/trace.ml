@@ -1,26 +1,384 @@
 module Types = Bgp_proto.Types
+module Path = Bgp_proto.Path
+
+let no_cause = -1
 
 type event =
-  | Update_sent of { time : float; src : int; dst : int; update : Types.update }
-  | Update_delivered of { time : float; src : int; dst : int; update : Types.update }
-  | Router_failed of { time : float; router : int }
-  | Session_down of { time : float; router : int; peer : int }
+  | Update_sent of {
+      id : int;
+      time : float;
+      src : int;
+      dst : int;
+      update : Types.update;
+      cause : int;
+    }
+  | Update_delivered of {
+      id : int;
+      time : float;
+      src : int;
+      dst : int;
+      update : Types.update;
+      cause : int;
+    }
+  | Processed of {
+      id : int;
+      time : float;
+      router : int;
+      src : int;
+      dest : int;
+      enqueued : float;
+      started : float;
+      cause : int;
+    }
+  | Mrai_flush of {
+      id : int;
+      time : float;
+      router : int;
+      peer : int;
+      dest : int;
+      ready : float;
+      cause : int;
+    }
+  | Router_failed of { id : int; time : float; router : int }
+  | Session_down of { id : int; time : float; router : int; peer : int; cause : int }
+
+let id_of = function
+  | Update_sent { id; _ }
+  | Update_delivered { id; _ }
+  | Processed { id; _ }
+  | Mrai_flush { id; _ }
+  | Router_failed { id; _ }
+  | Session_down { id; _ } ->
+    id
 
 let time_of = function
   | Update_sent { time; _ }
   | Update_delivered { time; _ }
+  | Processed { time; _ }
+  | Mrai_flush { time; _ }
   | Router_failed { time; _ }
   | Session_down { time; _ } ->
     time
 
+let cause_of = function
+  | Update_sent { cause; _ }
+  | Update_delivered { cause; _ }
+  | Processed { cause; _ }
+  | Mrai_flush { cause; _ }
+  | Session_down { cause; _ } ->
+    cause
+  | Router_failed _ -> no_cause
+
+let router_of = function
+  | Update_sent { src; _ } -> src
+  | Update_delivered { dst; _ } -> dst
+  | Processed { router; _ } | Mrai_flush { router; _ } -> router
+  | Router_failed { router; _ } | Session_down { router; _ } -> router
+
 let pp_event ppf = function
-  | Update_sent { time; src; dst; update } ->
-    Fmt.pf ppf "%10.4f  %3d -> %3d  send %a" time src dst Types.pp_update update
-  | Update_delivered { time; src; dst; update } ->
-    Fmt.pf ppf "%10.4f  %3d -> %3d  recv %a" time src dst Types.pp_update update
-  | Router_failed { time; router } -> Fmt.pf ppf "%10.4f  router %d FAILED" time router
-  | Session_down { time; router; peer } ->
-    Fmt.pf ppf "%10.4f  router %d: session to %d down" time router peer
+  | Update_sent { id; time; src; dst; update; cause } ->
+    Fmt.pf ppf "%10.4f  #%-6d %3d -> %3d  send %a (cause #%d)" time id src dst
+      Types.pp_update update cause
+  | Update_delivered { id; time; src; dst; update; cause } ->
+    Fmt.pf ppf "%10.4f  #%-6d %3d -> %3d  recv %a (cause #%d)" time id src dst
+      Types.pp_update update cause
+  | Processed { id; time; router; src; dest; enqueued; started; cause } ->
+    Fmt.pf ppf
+      "%10.4f  #%-6d router %d processed d%d from %d (enq %.4f, start %.4f, cause #%d)"
+      time id router dest src enqueued started cause
+  | Mrai_flush { id; time; router; peer; dest; ready; cause } ->
+    Fmt.pf ppf
+      "%10.4f  #%-6d router %d MRAI flush d%d -> %d (ready %.4f, held %.4f, cause #%d)"
+      time id router dest peer ready (time -. ready) cause
+  | Router_failed { id; time; router } ->
+    Fmt.pf ppf "%10.4f  #%-6d router %d FAILED" time id router
+  | Session_down { id; time; router; peer; cause } ->
+    Fmt.pf ppf "%10.4f  #%-6d router %d: session to %d down (cause #%d)" time id router
+      peer cause
+
+(* --- JSONL serialization -------------------------------------------------- *)
+
+(* "%.17g" round-trips any finite double exactly, so spilled events parse
+   back bit-identical and attribution over a spilled trace matches the
+   in-memory result. *)
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let buf_update buf update =
+  match update with
+  | Types.Advertise { dest; path } ->
+    Printf.bprintf buf "{\"kind\":\"advertise\",\"dest\":%d,\"path\":[" dest;
+    List.iteri
+      (fun i asn -> Printf.bprintf buf "%s%d" (if i > 0 then "," else "") asn)
+      (Path.hops path);
+    Buffer.add_string buf "]}"
+  | Types.Withdraw dest -> Printf.bprintf buf "{\"kind\":\"withdraw\",\"dest\":%d}" dest
+
+let event_to_json event =
+  let buf = Buffer.create 128 in
+  let head kind id time =
+    Printf.bprintf buf "{\"type\":\"%s\",\"id\":%d,\"time\":%s" kind id (json_float time)
+  in
+  (match event with
+  | Update_sent { id; time; src; dst; update; cause } ->
+    head "update_sent" id time;
+    Printf.bprintf buf ",\"src\":%d,\"dst\":%d,\"cause\":%d,\"update\":" src dst cause;
+    buf_update buf update
+  | Update_delivered { id; time; src; dst; update; cause } ->
+    head "update_delivered" id time;
+    Printf.bprintf buf ",\"src\":%d,\"dst\":%d,\"cause\":%d,\"update\":" src dst cause;
+    buf_update buf update
+  | Processed { id; time; router; src; dest; enqueued; started; cause } ->
+    head "processed" id time;
+    Printf.bprintf buf
+      ",\"router\":%d,\"src\":%d,\"dest\":%d,\"enqueued\":%s,\"started\":%s,\"cause\":%d"
+      router src dest (json_float enqueued) (json_float started) cause
+  | Mrai_flush { id; time; router; peer; dest; ready; cause } ->
+    head "mrai_flush" id time;
+    Printf.bprintf buf ",\"router\":%d,\"peer\":%d,\"dest\":%d,\"ready\":%s,\"cause\":%d"
+      router peer dest (json_float ready) cause
+  | Router_failed { id; time; router } ->
+    head "router_failed" id time;
+    Printf.bprintf buf ",\"router\":%d" router
+  | Session_down { id; time; router; peer; cause } ->
+    head "session_down" id time;
+    Printf.bprintf buf ",\"router\":%d,\"peer\":%d,\"cause\":%d" router peer cause);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Minimal JSON reader for our own emitted lines (cf. the hand-rolled
+   reader in Bench_report, which lives above this library in the
+   dependency order).  Numbers keep their literal so ints and exact
+   floats both survive. *)
+type json =
+  | Num of string
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> incr pos
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some c -> Buffer.add_char buf c
+        | None -> fail "truncated escape");
+        incr pos;
+        go ()
+      | Some c ->
+        incr pos;
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> number_char c | None -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    Num (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((key, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let event_of_json ~paths line =
+  try
+    let json = parse_json line in
+    let obj = match json with Obj o -> o | _ -> raise (Bad "expected an object") in
+    let field key =
+      match List.assoc_opt key obj with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "missing field %S" key))
+    in
+    let num key =
+      match field key with Num s -> s | _ -> raise (Bad (key ^ ": expected a number"))
+    in
+    let int key =
+      match int_of_string_opt (num key) with
+      | Some v -> v
+      | None -> raise (Bad (key ^ ": expected an int"))
+    in
+    let fl key = float_of_string (num key) in
+    let str key =
+      match field key with Str s -> s | _ -> raise (Bad (key ^ ": expected a string"))
+    in
+    let update () =
+      let u = match field "update" with Obj o -> o | _ -> raise (Bad "bad update") in
+      let ufield key =
+        match List.assoc_opt key u with
+        | Some v -> v
+        | None -> raise (Bad ("update: missing " ^ key))
+      in
+      let uint key =
+        match ufield key with
+        | Num s -> int_of_string s
+        | _ -> raise (Bad ("update: bad " ^ key))
+      in
+      match ufield "kind" with
+      | Str "withdraw" -> Types.Withdraw (uint "dest")
+      | Str "advertise" ->
+        let hops =
+          match ufield "path" with
+          | Arr l ->
+            List.map
+              (function Num s -> int_of_string s | _ -> raise (Bad "bad path hop"))
+              l
+          | _ -> raise (Bad "update: bad path")
+        in
+        Types.Advertise { dest = uint "dest"; path = Path.of_list paths hops }
+      | _ -> raise (Bad "update: unknown kind")
+    in
+    let id = int "id" and time = fl "time" in
+    match str "type" with
+    | "update_sent" ->
+      Ok
+        (Update_sent
+           {
+             id;
+             time;
+             src = int "src";
+             dst = int "dst";
+             update = update ();
+             cause = int "cause";
+           })
+    | "update_delivered" ->
+      Ok
+        (Update_delivered
+           {
+             id;
+             time;
+             src = int "src";
+             dst = int "dst";
+             update = update ();
+             cause = int "cause";
+           })
+    | "processed" ->
+      Ok
+        (Processed
+           {
+             id;
+             time;
+             router = int "router";
+             src = int "src";
+             dest = int "dest";
+             enqueued = fl "enqueued";
+             started = fl "started";
+             cause = int "cause";
+           })
+    | "mrai_flush" ->
+      Ok
+        (Mrai_flush
+           {
+             id;
+             time;
+             router = int "router";
+             peer = int "peer";
+             dest = int "dest";
+             ready = fl "ready";
+             cause = int "cause";
+           })
+    | "router_failed" -> Ok (Router_failed { id; time; router = int "router" })
+    | "session_down" ->
+      Ok
+        (Session_down
+           { id; time; router = int "router"; peer = int "peer"; cause = int "cause" })
+    | kind -> Error (Printf.sprintf "unknown event type %S" kind)
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg
+
+(* --- Ring buffer + spill sink --------------------------------------------- *)
 
 type t = {
   capacity : int;
@@ -28,24 +386,88 @@ type t = {
   mutable next : int;  (* next write position *)
   mutable size : int;
   mutable dropped : int;
+  mutable spilled : int;
+  mutable next_id : int;
+  spill : string option;
+  mutable sink : out_channel option;
 }
 
-let create ?(capacity = 100_000) () =
+let create ?(capacity = 100_000) ?spill () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; data = [||]; next = 0; size = 0; dropped = 0 }
+  let sink = Option.map open_out spill in
+  {
+    capacity;
+    data = [||];
+    next = 0;
+    size = 0;
+    dropped = 0;
+    spilled = 0;
+    next_id = 0;
+    spill;
+    sink;
+  }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
 
 let record t event =
   if Array.length t.data = 0 then t.data <- Array.make t.capacity event;
-  if t.size = t.capacity then t.dropped <- t.dropped + 1 else t.size <- t.size + 1;
+  if t.size = t.capacity then begin
+    (* Evicting the oldest event: spill it if a sink is attached. *)
+    match t.sink with
+    | Some oc ->
+      output_string oc (event_to_json t.data.(t.next));
+      output_char oc '\n';
+      t.spilled <- t.spilled + 1
+    | None -> t.dropped <- t.dropped + 1
+  end
+  else t.size <- t.size + 1;
   t.data.(t.next) <- event;
   t.next <- (t.next + 1) mod t.capacity
 
 let length t = t.size
 let dropped t = t.dropped
+let spilled t = t.spilled
+let spill_path t = t.spill
+
+let close t =
+  match t.sink with
+  | Some oc ->
+    close_out oc;
+    t.sink <- None
+  | None -> ()
 
 let to_list t =
   let start = (t.next - t.size + t.capacity) mod t.capacity in
   List.init t.size (fun i -> t.data.((start + i) mod t.capacity))
+
+let read_spilled t =
+  match t.spill with
+  | None -> []
+  | Some path ->
+    Option.iter flush t.sink;
+    if not (Sys.file_exists path) then []
+    else begin
+      let paths = Path.create_table () in
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match In_channel.input_line ic with
+            | None -> List.rev acc
+            | Some line ->
+              (match event_of_json ~paths line with
+              | Ok event -> go (event :: acc)
+              | Error msg ->
+                failwith (Printf.sprintf "Trace.events: bad spilled line (%s): %s" msg line))
+          in
+          go [])
+    end
+
+let events t = read_spilled t @ to_list t
 
 let count t ~pred = List.length (List.filter pred (to_list t))
 
@@ -55,7 +477,9 @@ let sends_by_router t =
     (function
       | Update_sent { src; _ } ->
         Hashtbl.replace table src (1 + Option.value ~default:0 (Hashtbl.find_opt table src))
-      | Update_delivered _ | Router_failed _ | Session_down _ -> ())
+      | Update_delivered _ | Processed _ | Mrai_flush _ | Router_failed _
+      | Session_down _ ->
+        ())
     (to_list t);
   List.sort
     (fun (_, a) (_, b) -> Int.compare b a)
@@ -77,4 +501,11 @@ let dump ?(limit = 50) ppf t =
 let clear t =
   t.size <- 0;
   t.next <- 0;
-  t.dropped <- 0
+  t.dropped <- 0;
+  t.spilled <- 0;
+  match (t.spill, t.sink) with
+  | Some path, Some oc ->
+    close_out oc;
+    t.sink <- Some (open_out path)
+  | Some path, None -> if Sys.file_exists path then Sys.remove path
+  | None, _ -> ()

@@ -1,45 +1,143 @@
-(** Event tracing: a bounded ring buffer of typed simulation events for
-    debugging and post-hoc analysis (who sent what when, where sessions
-    dropped).  Attach one through {!Network.config}; recording is O(1) and
-    allocation-light, so traces can stay on for full experiments. *)
+(** Causal event tracing: a bounded ring buffer of typed simulation events
+    with per-event ids and cause pointers, for debugging and post-hoc
+    convergence-delay attribution ({!Attribution}).
+
+    Every recorded event carries a unique [id] (monotonic per trace) and a
+    [cause]: the id of the event that directly triggered it, or [no_cause]
+    for roots (failure injections, origination-time sends).  The cause
+    chain is what {!Attribution} walks to recover the critical path from a
+    failure to the last route change.
+
+    Recording is O(1) and allocation-light; attach one through
+    {!Network.config}.  When the ring would overwrite its oldest event,
+    the event is either spilled to a JSONL file (when [spill] was given —
+    nothing is lost) or dropped and counted. *)
+
+val no_cause : int
+(** The cause id of a root event ([-1]). *)
 
 type event =
-  | Update_sent of { time : float; src : int; dst : int; update : Bgp_proto.Types.update }
-  | Update_delivered of {
+  | Update_sent of {
+      id : int;
       time : float;
       src : int;
       dst : int;
       update : Bgp_proto.Types.update;
+      cause : int;
+          (** the [Processed] completion, [Mrai_flush] or origination
+              ([no_cause]) that emitted this update *)
     }
-  | Router_failed of { time : float; router : int }
-  | Session_down of { time : float; router : int; peer : int }
-      (** [router] noticed its session to [peer] drop *)
+  | Update_delivered of {
+      id : int;
+      time : float;
+      src : int;
+      dst : int;
+      update : Bgp_proto.Types.update;
+      cause : int;  (** the matching [Update_sent]; gap = link propagation *)
+    }
+  | Processed of {
+      id : int;
+      time : float;  (** processing completed *)
+      router : int;
+      src : int;  (** sender of the work item *)
+      dest : int;  (** destination of the update; [-1] for peer-down work *)
+      enqueued : float;  (** when the item entered the input queue *)
+      started : float;  (** when the CPU began serving it *)
+      cause : int;
+          (** the [Update_delivered] (or [Session_down] for peer-down
+              work) that enqueued the item *)
+    }
+  | Mrai_flush of {
+      id : int;
+      time : float;  (** the timer fired and the destination was flushed *)
+      router : int;
+      peer : int;
+      dest : int;
+      ready : float;
+          (** when the export became MRAI-eligible (last marked pending);
+              [time -. ready] is the MRAI hold *)
+      cause : int;  (** the event that last marked the destination pending *)
+    }
+  | Router_failed of { id : int; time : float; router : int }
+  | Session_down of {
+      id : int;
+      time : float;
+      router : int;  (** noticed its session to [peer] drop *)
+      peer : int;
+      cause : int;
+          (** the [Router_failed] detected, or [no_cause] for a link
+              failure *)
+    }
 
+val id_of : event -> int
 val time_of : event -> float
+
+val cause_of : event -> int
+(** [no_cause] for [Router_failed]. *)
+
+val router_of : event -> int
+(** The router where the event's latency was incurred: the sender for
+    [Update_sent], the receiver for [Update_delivered], the processing /
+    flushing / noticing router otherwise. *)
+
 val pp_event : Format.formatter -> event -> unit
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?spill:string -> unit -> t
 (** Ring buffer; default capacity 100_000 events.  When full, the oldest
-    events are overwritten (and counted in [dropped]). *)
+    event is overwritten: with [spill] it is first appended to the JSONL
+    file at that path (created/truncated here) and counted in [spilled];
+    without it the event is lost and counted in [dropped].
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val fresh_id : t -> int
+(** Next event id (monotonic; never reset, not even by [clear]). *)
 
 val record : t -> event -> unit
+
 val length : t -> int
+(** Events currently held in memory. *)
+
 val dropped : t -> int
+val spilled : t -> int
+
+val spill_path : t -> string option
 
 val to_list : t -> event list
-(** Oldest first. *)
+(** In-memory events, oldest first (excludes spilled events). *)
+
+val events : t -> event list
+(** The complete record, oldest first: spilled events read back from the
+    JSONL file, then the in-memory ring.  Flushes the sink first.
+    @raise Failure if a spilled line does not parse (file tampered). *)
+
+val close : t -> unit
+(** Flush and close the spill sink.  Further overwrites count as
+    [dropped].  Idempotent; a no-op without a sink. *)
 
 val count : t -> pred:(event -> bool) -> int
 
 val sends_by_router : t -> (int * int) list
-(** [(router, updates sent)] sorted by count, busiest first. *)
+(** [(router, updates sent)] sorted by count, busiest first (in-memory
+    events only). *)
 
 val between : t -> lo:float -> hi:float -> event list
-(** Events with [lo <= time < hi], oldest first. *)
+(** In-memory events with [lo <= time < hi], oldest first. *)
 
 val dump : ?limit:int -> Format.formatter -> t -> unit
-(** Print the most recent [limit] (default 50) events. *)
+(** Print the most recent [limit] (default 50) in-memory events. *)
 
 val clear : t -> unit
+(** Drop all events (and truncate the spill file, if any).  Ids keep
+    counting. *)
+
+(** {2 JSONL serialization} *)
+
+val event_to_json : event -> string
+(** One line, no trailing newline. *)
+
+val event_of_json :
+  paths:Bgp_proto.Path.table -> string -> (event, string) result
+(** Parse a line emitted by {!event_to_json}; AS paths are re-interned
+    into [paths]. *)

@@ -1,0 +1,306 @@
+(* Attribution invariants on the golden scenarios.
+
+   Three properties anchor the observability layer: (1) attaching a trace
+   never perturbs the simulation — every result field stays bit-identical
+   to an untraced run; (2) the critical path's component decomposition
+   telescopes, so queueing + processing + MRAI hold + propagation sum to
+   the measured convergence delay (up to float addition order) and the
+   terminal hop's timestamp is exactly t_fail + delay; (3) the trace
+   survives serialization — spilled-and-reloaded events yield the same
+   attribution, and every event round-trips through JSONL. *)
+
+module Runner = Bgp_netsim.Runner
+module Network = Bgp_netsim.Network
+module Trace = Bgp_netsim.Trace
+module Attribution = Bgp_netsim.Attribution
+module Report = Bgp_experiments.Bench_report
+module Config = Bgp_proto.Config
+module Path = Bgp_proto.Path
+module Degree_dist = Bgp_topology.Degree_dist
+module As_topology = Bgp_topology.As_topology
+module Topology = Bgp_topology.Topology
+module Graph = Bgp_topology.Graph
+module Rng = Bgp_engine.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let exactf msg = Alcotest.check (Alcotest.float 0.0) msg
+let nearf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* Same three scenario families (x 4 seeds) as test_golden.ml. *)
+
+let flat_scenario =
+  Runner.scenario
+    ~net:(Network.config_default Config.(with_mrai (Static 1.25) default))
+    ~failure:(Runner.Fraction 0.1) ~seed:3
+    (Runner.Flat { spec = Degree_dist.skewed_70_30; n = 24 })
+
+let realistic_scenario =
+  Runner.scenario
+    ~net:(Network.config_default Config.default)
+    ~failure:(Runner.Fraction 0.1) ~seed:5
+    (Runner.Realistic (As_topology.default ~n_ases:16))
+
+let ring_topology n =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    Graph.add_edge g u ((u + 1) mod n)
+  done;
+  Topology.of_graph (Rng.create 99) g
+
+let tdown_scenario =
+  Runner.scenario
+    ~net:(Network.config_default Config.(with_mrai (Static 2.0) default))
+    ~failure:(Runner.Links [ (0, 1); (3, 4) ])
+    ~seed:7
+    (Runner.Fixed (ring_topology 8))
+
+let with_trace ?capacity ?spill scenario =
+  {
+    scenario with
+    Runner.net =
+      {
+        scenario.Runner.net with
+        Network.trace = Some (Trace.create ?capacity ?spill ());
+      };
+  }
+
+let get_attr ctx (r : Runner.result) =
+  match r.Runner.attribution with
+  | Some a -> a
+  | None -> Alcotest.failf "%s: traced run produced no attribution" ctx
+
+(* (1) + (2): trace neutrality and the decomposition invariants, on all
+   12 golden scenario instances. *)
+let check_family name scenario () =
+  for i = 0 to 3 do
+    let scenario = { scenario with Runner.seed = scenario.Runner.seed + i } in
+    let ctx field = Printf.sprintf "%s seed+%d: %s" name i field in
+    let plain = Runner.run scenario in
+    let traced = Runner.run (with_trace scenario) in
+    (* bit-identity of every result field *)
+    checkb (ctx "converged") plain.Runner.converged traced.Runner.converged;
+    exactf (ctx "warmup_delay") plain.Runner.warmup_delay traced.Runner.warmup_delay;
+    exactf (ctx "convergence_delay") plain.Runner.convergence_delay
+      traced.Runner.convergence_delay;
+    checki (ctx "messages") plain.Runner.messages traced.Runner.messages;
+    checki (ctx "adverts") plain.Runner.adverts traced.Runner.adverts;
+    checki (ctx "withdrawals") plain.Runner.withdrawals traced.Runner.withdrawals;
+    checki (ctx "warmup_messages") plain.Runner.warmup_messages
+      traced.Runner.warmup_messages;
+    checki (ctx "eliminated") plain.Runner.eliminated traced.Runner.eliminated;
+    checki (ctx "max_queue") plain.Runner.max_queue traced.Runner.max_queue;
+    checki (ctx "events") plain.Runner.events traced.Runner.events;
+    (* decomposition invariants *)
+    let attr = get_attr (ctx "attribution") traced in
+    checkb (ctx "complete") true attr.Attribution.complete;
+    exactf (ctx "attr delay = result delay") plain.Runner.convergence_delay
+      attr.Attribution.convergence_delay;
+    nearf (ctx "components sum to delay") plain.Runner.convergence_delay
+      (Attribution.total attr.Attribution.totals);
+    (match List.rev attr.Attribution.critical_path with
+    | [] -> Alcotest.fail (ctx "empty critical path")
+    | terminal :: _ ->
+      exactf (ctx "terminal timestamp = t_fail + delay")
+        (attr.Attribution.t_fail +. plain.Runner.convergence_delay)
+        (Trace.time_of terminal.Attribution.event));
+    (* the chain is causally linked: each hop's cause is the previous
+       hop's id, and the root is a true causal root *)
+    (match attr.Attribution.critical_path with
+    | [] -> ()
+    | root :: rest ->
+      checki (ctx "root has no cause") Trace.no_cause
+        (Trace.cause_of root.Attribution.event);
+      ignore
+        (List.fold_left
+           (fun prev_id (hop : Attribution.hop) ->
+             checki (ctx "hop cause = predecessor id") prev_id
+               (Trace.cause_of hop.Attribution.event);
+             Trace.id_of hop.Attribution.event)
+           (Trace.id_of root.Attribution.event)
+           rest));
+    (* hop parts re-sum to the totals *)
+    let resummed =
+      List.fold_left
+        (fun acc (hop : Attribution.hop) -> Attribution.add acc hop.Attribution.parts)
+        Attribution.zero attr.Attribution.critical_path
+    in
+    nearf (ctx "hop parts sum to totals")
+      (Attribution.total attr.Attribution.totals)
+      (Attribution.total resummed);
+    (* per-router residencies partition the critical path *)
+    let residency_sum =
+      List.fold_left
+        (fun acc (s : Attribution.router_stat) -> acc +. s.Attribution.residency)
+        0.0 attr.Attribution.per_router
+    in
+    nearf (ctx "router residencies sum to delay") plain.Runner.convergence_delay
+      residency_sum
+  done
+
+(* (3a): a tiny ring that spills to JSONL must reconstruct the identical
+   attribution — nothing is lost on ring wrap. *)
+let check_spill_roundtrip () =
+  let spill = Filename.temp_file "bgpsim_spill" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove spill with Sys_error _ -> ())
+    (fun () ->
+      let big = Runner.run (with_trace ~capacity:1_000_000 flat_scenario) in
+      let small_trace = Trace.create ~capacity:500 ~spill () in
+      let small =
+        Runner.run
+          {
+            flat_scenario with
+            Runner.net =
+              { flat_scenario.Runner.net with Network.trace = Some small_trace };
+          }
+      in
+      let a_big = get_attr "spill: big" big in
+      let a_small = get_attr "spill: small" small in
+      checkb "small ring spilled" true (Trace.spilled small_trace > 0);
+      checki "no drops with a sink" 0 (Trace.dropped small_trace);
+      Alcotest.check Alcotest.string "attribution identical across spill"
+        (Attribution.to_json a_big)
+        (Attribution.to_json a_small);
+      checkb "spilled trace complete" true a_small.Attribution.complete)
+
+(* Without a spill sink, a small ring must *count* what it loses and
+   report the truncation (complete = false or fewer analyzed events), not
+   silently pretend full coverage. *)
+let check_drop_counting () =
+  let trace = Trace.create ~capacity:50 () in
+  let scenario =
+    { flat_scenario with Runner.net = { flat_scenario.Runner.net with Network.trace = Some trace } }
+  in
+  let _ = Runner.run scenario in
+  checkb "drops counted" true (Trace.dropped trace > 0);
+  checki "nothing spilled without a sink" 0 (Trace.spilled trace)
+
+(* (3b): every traced event survives a JSONL round-trip byte-for-byte
+   (modulo path re-interning, which the serialization hides). *)
+let check_event_roundtrip () =
+  let trace = Trace.create ~capacity:1_000_000 () in
+  let scenario =
+    { flat_scenario with Runner.net = { flat_scenario.Runner.net with Network.trace = Some trace } }
+  in
+  let _ = Runner.run scenario in
+  let events = Trace.events trace in
+  checkb "trace non-empty" true (events <> []);
+  let paths = Path.create_table () in
+  List.iter
+    (fun e ->
+      let line = Trace.event_to_json e in
+      match Trace.event_of_json ~paths line with
+      | Error msg -> Alcotest.failf "round-trip parse failed: %s on %s" msg line
+      | Ok e' ->
+        Alcotest.check Alcotest.string "event json round-trip" line
+          (Trace.event_to_json e'))
+    events;
+  (match Trace.event_of_json ~paths "{\"kind\": \"nonsense\"}" with
+  | Ok _ -> Alcotest.fail "parsed a bogus event kind"
+  | Error _ -> ());
+  match Trace.event_of_json ~paths "not json at all" with
+  | Ok _ -> Alcotest.fail "parsed garbage"
+  | Error _ -> ()
+
+(* The analyze JSON is schema-valid and self-consistent, checked with the
+   repo's own JSON reader (%.17g floats round-trip exactly). *)
+let check_attr_json () =
+  let traced = Runner.run (with_trace flat_scenario) in
+  let attr = get_attr "json" traced in
+  let json = Report.of_string (Attribution.to_json attr) in
+  let str_member key =
+    match Option.bind (Report.member key json) Report.to_str with
+    | Some s -> s
+    | None -> Alcotest.failf "missing string %s" key
+  in
+  let float_member obj key =
+    match Option.bind (Report.member key obj) Report.to_float with
+    | Some v -> v
+    | None -> Alcotest.failf "missing float %s" key
+  in
+  Alcotest.check Alcotest.string "schema" "bgp-attr/1" (str_member "schema");
+  let totals =
+    match Report.member "totals" json with
+    | Some o -> o
+    | None -> Alcotest.fail "missing totals"
+  in
+  let sum =
+    float_member totals "queueing"
+    +. float_member totals "processing"
+    +. float_member totals "mrai_hold"
+    +. float_member totals "propagation"
+  in
+  nearf "json components sum to delay" (float_member json "convergence_delay") sum;
+  (match Report.member "complete" json with
+  | Some (Report.Bool true) -> ()
+  | _ -> Alcotest.fail "complete should be true");
+  let path =
+    match Option.bind (Report.member "critical_path" json) Report.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "missing critical_path"
+  in
+  checki "json path length" (List.length attr.Attribution.critical_path)
+    (List.length path);
+  match Option.bind (Report.member "per_router" json) Report.to_list with
+  | Some (_ :: _) -> ()
+  | _ -> Alcotest.fail "missing per_router"
+
+(* Bench reports carry the attribution block through their own emitter. *)
+let check_bench_report_roundtrip () =
+  let t = Report.create ~trials:2 ~n:24 ~jobs:1 in
+  Report.set_attribution t
+    {
+      Report.attr_scenario = "unit test";
+      attr_delay = 3.5;
+      attr_queueing = 0.5;
+      attr_processing = 0.25;
+      attr_mrai_hold = 2.0;
+      attr_propagation = 0.75;
+      attr_hops = 42;
+      attr_complete = true;
+    };
+  let json = Report.of_string (Report.to_json t) in
+  let attr =
+    match Report.member "attribution" json with
+    | Some o -> o
+    | None -> Alcotest.fail "bench report lost the attribution block"
+  in
+  let f key =
+    match Option.bind (Report.member key attr) Report.to_float with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" key
+  in
+  exactf "delay" 3.5 (f "convergence_delay_s");
+  exactf "queueing" 0.5 (f "queueing_s");
+  exactf "mrai_hold" 2.0 (f "mrai_hold_s");
+  exactf "hops" 42.0 (f "critical_hops");
+  match Report.member "complete" attr with
+  | Some (Report.Bool true) -> ()
+  | _ -> Alcotest.fail "complete flag lost"
+
+let () =
+  Alcotest.run "attribution"
+    [
+      ( "golden-invariants",
+        [
+          Alcotest.test_case "flat 70-30 (4 seeds)" `Quick
+            (check_family "flat" flat_scenario);
+          Alcotest.test_case "realistic 16-AS (4 seeds)" `Quick
+            (check_family "realistic" realistic_scenario);
+          Alcotest.test_case "Tdown ring (4 seeds)" `Quick
+            (check_family "tdown" tdown_scenario);
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "spill round-trip" `Quick check_spill_roundtrip;
+          Alcotest.test_case "drop counting without sink" `Quick
+            check_drop_counting;
+          Alcotest.test_case "event JSONL round-trip" `Quick
+            check_event_roundtrip;
+          Alcotest.test_case "analyze JSON self-consistency" `Quick
+            check_attr_json;
+          Alcotest.test_case "bench report attribution" `Quick
+            check_bench_report_roundtrip;
+        ] );
+    ]

@@ -132,7 +132,7 @@ let test_dynamic_bad_config () =
 
 (* --- Input_queue ----------------------------------------------------------- *)
 
-let item src dest payload = { Iq.src; dest; payload }
+let item src dest payload = { Iq.src; dest; payload; cause = -1; enqueued = 0.0 }
 
 let drain q =
   let rec go acc = match Iq.pop q with None -> List.rev acc | Some i -> go (i :: acc) in

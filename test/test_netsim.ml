@@ -436,7 +436,7 @@ module Trace = Bgp_netsim.Trace
 let test_trace_ring_buffer () =
   let t = Trace.create ~capacity:3 () in
   for i = 1 to 5 do
-    Trace.record t (Trace.Router_failed { time = float_of_int i; router = i })
+    Trace.record t (Trace.Router_failed { id = Trace.fresh_id t; time = float_of_int i; router = i })
   done;
   checki "bounded" 3 (Trace.length t);
   checki "overwrites counted" 2 (Trace.dropped t);
@@ -451,7 +451,7 @@ let test_trace_ring_buffer () =
   checki "cleared" 0 (Trace.length t)
 
 let trace_times t = List.map Trace.time_of (Trace.to_list t)
-let fail_at time = Trace.Router_failed { time; router = 0 }
+let fail_at time = Trace.Router_failed { id = 0; time; router = 0 }
 let times_t = Alcotest.(list (float 1e-9))
 
 let test_trace_capacity_edges () =

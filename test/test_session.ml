@@ -43,7 +43,7 @@ let make_pair ?(config = Session.default_config) ?(config_b = None) sched =
                   let e = Lazy.force a in
                   e.closed <- (Sched.now sched, reason) :: e.closed);
               deliver_update =
-                (fun u ->
+                (fun ~cause:_ u ->
                   let e = Lazy.force a in
                   e.delivered <- u :: e.delivered);
             };
@@ -76,7 +76,7 @@ let make_pair ?(config = Session.default_config) ?(config_b = None) sched =
                   let e = Lazy.force b in
                   e.closed <- (Sched.now sched, reason) :: e.closed);
               deliver_update =
-                (fun u ->
+                (fun ~cause:_ u ->
                   let e = Lazy.force b in
                   e.delivered <- u :: e.delivered);
             };
@@ -185,7 +185,7 @@ let test_updates_refresh_hold () =
         (Sched.schedule sched ~delay:60.0 (fun () ->
              (* bypass a's cut wire: inject directly into b *)
              Session.handle_wire b.session
-               (Session.Update_msg (Types.Withdraw 1));
+               (Session.Update_msg { update = Types.Withdraw 1; cause = -1 });
              pump (n - 1)))
   in
   a.cut <- true;
