@@ -394,6 +394,14 @@ let () =
               attr_propagation = attr.totals.propagation;
               attr_hops = List.length attr.critical_path;
               attr_complete = attr.complete;
+              attr_dests = attr.tails.Bgp_netsim.Attribution.n_dests;
+              attr_tail_p50 = attr.tails.p50;
+              attr_tail_p95 = attr.tails.p95;
+              attr_tail_p99 = attr.tails.p99;
+              attr_straggler_dest =
+                (match attr.per_dest with d :: _ -> d.Bgp_netsim.Attribution.dest | [] -> -1);
+              attr_straggler_tail =
+                (match attr.per_dest with d :: _ -> d.Bgp_netsim.Attribution.tail | [] -> 0.0);
             })
         result.Runner.attribution)
     report;

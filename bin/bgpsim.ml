@@ -155,41 +155,28 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
       | interval, _ -> Some (Bgp_netsim.Telemetry.config ?probe_interval:interval ())
     in
     let net_config = { net_config with Network.telemetry } in
-    (* Tracing: each trial gets its own trace instance, so tracing
-       composes with the domain pool.  The exception is --trace-file (one
-       shared JSONL file): concurrent trials cannot share it, so it
-       attaches to the first trial only and forces one job. *)
-    let shared_file = trace_file <> None in
-    let want_trace = trace_n <> None || shared_file in
-    let jobs =
-      if shared_file then begin
-        if jobs <> 1 && not quiet then
-          Fmt.epr
-            "note: --trace-file forces --jobs 1 (the trace file attaches to the first \
-             trial only)@.";
-        1
-      end
-      else if jobs = 0 then Bgp_engine.Pool.default_jobs ()
-      else jobs
-    in
-    let traces =
-      List.init trials (fun i ->
-          if not want_trace then None
-          else if shared_file then
-            if i = 0 then Some (Trace.create ?spill:trace_file ()) else None
-          else Some (Trace.create ()))
-    in
+    (* Tracing: each trial gets its own trace instance — and with
+       --trace-file its own seed-suffixed spill file — so tracing composes
+       with the domain pool at any job count. *)
+    let want_trace = trace_n <> None || trace_file <> None in
+    let jobs = if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs in
+    let scenario = { scenario with Runner.net = net_config } in
     let delays = Bgp_engine.Stats.create () in
     let msgs = Bgp_engine.Stats.create () in
     let ok = ref true in
     (* Trials are independent (one seed, RNG and scheduler each), so they
        fan out over a domain pool; results are identical to the
        sequential order for any job count. *)
-    let results =
-      Bgp_engine.Pool.map ~jobs Runner.run
-        (List.init trials (fun i ->
-             let net = { net_config with Network.trace = List.nth traces i } in
-             { scenario with Runner.seed = seed + i; Runner.net = net }))
+    let results, traces =
+      if want_trace then begin
+        let pairs = Runner.traced ?spill_base:trace_file scenario ~trials in
+        let results = Bgp_engine.Pool.map ~jobs Runner.run (List.map fst pairs) in
+        (results, List.map (fun (_, t) -> Some t) pairs)
+      end
+      else
+        ( Bgp_engine.Pool.map ~jobs Runner.run
+            (List.init trials (fun i -> { scenario with Runner.seed = seed + i })),
+          List.init trials (fun _ -> None) )
     in
     List.iteri
       (fun i r ->
@@ -232,23 +219,24 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
           if i < 10 then Fmt.pr "  router %3d: %d updates@." router count)
         (Trace.sends_by_router trace)
     | _ -> ());
-    (* --trace-file: make the file the complete record — the sink only
-       received events evicted from the ring, so append the rest. *)
-    (match (List.nth_opt traces 0, trace_file) with
-    | Some (Some trace), Some path ->
-      Trace.close trace;
-      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-      List.iter
-        (fun e ->
-          output_string oc (Trace.event_to_json e);
-          output_char oc '\n')
-        (Trace.to_list trace);
-      close_out oc;
-      if not quiet then
-        Fmt.pr "wrote complete trial-0 trace (%d events) to %s@."
-          (Trace.spilled trace + Trace.length trace)
-          path
-    | _ -> ());
+    (* --trace-file: finalize every trial's seed-suffixed file into a
+       complete, self-describing record (events + one meta line) that
+       `bgpsim analyze --merge` can combine. *)
+    (match trace_file with
+    | None -> ()
+    | Some base ->
+      List.iteri
+        (fun i (r : Runner.result) ->
+          match (List.nth traces i, r.Runner.attribution) with
+          | Some trace, Some attr ->
+            let n_events = Trace.spilled trace + Trace.length trace in
+            Trace.finalize trace
+              ~meta:{ Trace.seed = seed + i; t_fail = attr.Attribution.t_fail };
+            if not quiet then
+              Fmt.pr "wrote complete trace (%d events) to %s@." n_events
+                (Runner.trace_path ~base ~seed:(seed + i))
+          | _ -> ())
+        results);
     (match telemetry_dir with
     | None -> ()
     | Some dir ->
@@ -267,51 +255,121 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
 
 (* --- analyze ------------------------------------------------------------- *)
 
-let analyze_main opts capacity spill json_path top max_hops quiet =
-  match build_scenario opts with
-  | Error m ->
-    Fmt.epr "error: %s@." m;
+let write_file ?(quiet = true) path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  if not quiet then Fmt.pr "wrote %s@." path
+
+(* --merge DIR: no simulation — read every finalized trace file in DIR,
+   re-run the attribution per trial, and combine. *)
+let merge_main dir json_path flame_path top quiet =
+  let files =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort String.compare entries;
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+      |> List.map (Filename.concat dir)
+    | exception Sys_error m ->
+      Fmt.epr "error: %s@." m;
+      []
+  in
+  let paths = Bgp_proto.Path.create_table () in
+  let trials =
+    List.filter_map
+      (fun file ->
+        match Trace.read_file ~paths file with
+        | Some meta, events ->
+          Some
+            {
+              Attribution.trial_seed = meta.Trace.seed;
+              attr = Attribution.analyze ~t_fail:meta.Trace.t_fail events;
+            }
+        | None, _ ->
+          Fmt.epr "warning: %s has no meta line (not a finalized trace); skipped@." file;
+          None
+        | exception Failure m ->
+          Fmt.epr "warning: %s: %s; skipped@." file m;
+          None)
+      files
+  in
+  match trials with
+  | [] ->
+    Fmt.epr "error: no finalized trace files (*.jsonl) under %s@." dir;
     1
-  | Ok scenario ->
-    let trace = Trace.create ~capacity ?spill () in
-    let scenario =
-      { scenario with Runner.net = { scenario.Runner.net with Network.trace = Some trace } }
-    in
-    let r = Runner.run scenario in
-    let code =
-      match r.Runner.attribution with
-      | None ->
-        Fmt.epr "error: no attribution produced (internal)@.";
-        1
-      | Some attr ->
-        if not quiet then begin
-          Fmt.pr
-            "seed %3d: delay %8.2f s, %7d msgs, %d trace events (%d spilled, %d \
-             dropped)@."
-            opts.seed r.Runner.convergence_delay r.Runner.messages
-            (Trace.spilled trace + Trace.length trace)
-            (Trace.spilled trace) (Trace.dropped trace);
-          Fmt.pr "%a" (Attribution.pp ~top ~max_hops) attr
-        end;
-        (match json_path with
-        | None -> ()
-        | Some "-" -> print_endline (Attribution.to_json ~top attr)
-        | Some path ->
-          let oc = open_out path in
-          output_string oc (Attribution.to_json ~top attr);
-          output_char oc '\n';
-          close_out oc;
-          if not quiet then Fmt.pr "wrote %s@." path);
-        if Trace.dropped trace > 0 || not attr.Attribution.complete then
-          Fmt.epr
-            "warning: the trace dropped %d events and the causal chain is %s — raise \
-             --capacity or set --spill FILE@."
-            (Trace.dropped trace)
-            (if attr.Attribution.complete then "complete anyway" else "incomplete");
-        if r.Runner.converged then 0 else 1
-    in
-    Trace.close trace;
-    code
+  | _ ->
+    let merged = Attribution.merge trials in
+    if not quiet then Fmt.pr "%a" (Attribution.pp_merged ~top) merged;
+    (match json_path with
+    | None -> ()
+    | Some "-" -> print_endline (Attribution.merged_to_json ~top merged)
+    | Some path -> write_file ~quiet path (Attribution.merged_to_json ~top merged ^ "\n"));
+    Option.iter
+      (fun path ->
+        let folded =
+          String.concat ""
+            (List.map
+               (fun tr -> Attribution.to_flamegraph tr.Attribution.attr)
+               trials)
+        in
+        write_file ~quiet path folded)
+      flame_path;
+    0
+
+let analyze_main opts capacity spill json_path top max_hops per_dest flame_path merge_dir
+    quiet =
+  match merge_dir with
+  | Some dir -> merge_main dir json_path flame_path top quiet
+  | None -> (
+    match build_scenario opts with
+    | Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+    | Ok scenario ->
+      let trace = Trace.create ~capacity ?spill () in
+      let scenario =
+        { scenario with Runner.net = { scenario.Runner.net with Network.trace = Some trace } }
+      in
+      let r = Runner.run scenario in
+      let code =
+        match r.Runner.attribution with
+        | None ->
+          Fmt.epr "error: no attribution produced (internal)@.";
+          1
+        | Some attr ->
+          if not quiet then begin
+            Fmt.pr
+              "seed %3d: delay %8.2f s, %7d msgs, %d trace events (%d spilled, %d \
+               dropped)@."
+              opts.seed r.Runner.convergence_delay r.Runner.messages
+              (Trace.spilled trace + Trace.length trace)
+              (Trace.spilled trace) (Trace.dropped trace);
+            Fmt.pr "%a" (Attribution.pp ~top ~max_hops) attr;
+            if per_dest then Fmt.pr "%a" (Attribution.pp_per_dest ~top) attr
+          end;
+          (match json_path with
+          | None -> ()
+          | Some "-" -> print_endline (Attribution.to_json ~top attr)
+          | Some path -> write_file ~quiet path (Attribution.to_json ~top attr ^ "\n"));
+          Option.iter
+            (fun path ->
+              let mode =
+                if per_dest then Attribution.Flame_per_dest
+                else Attribution.Flame_aggregate
+              in
+              write_file ~quiet path (Attribution.to_flamegraph ~mode attr))
+            flame_path;
+          if Trace.dropped trace > 0 || not attr.Attribution.complete then
+            Fmt.epr
+              "warning: the trace dropped %d events and the causal chain is %s — raise \
+               --capacity or set --spill FILE@."
+              (Trace.dropped trace)
+              (if attr.Attribution.complete then "complete anyway" else "incomplete");
+          if r.Runner.converged then 0 else 1
+      in
+      Trace.close trace;
+      code)
 
 (* --- Command line -------------------------------------------------------- *)
 
@@ -336,9 +394,9 @@ let jobs =
   Arg.(value & opt int 0
        & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Run trials on N domains in parallel (0 = one per recommended core). \
-                 Each trial owns its seed, RNG, scheduler and (with --trace) trace \
-                 buffer, so the output is identical for every N; only --trace-file \
-                 forces N=1 (trials would share one file).")
+                 Each trial owns its seed, RNG, scheduler and (with --trace or \
+                 --trace-file) its own trace buffer and spill file, so the output is \
+                 identical for every N — tracing never constrains the job count.")
 
 let scheme_name =
   Arg.(value & opt string "static"
@@ -425,8 +483,10 @@ let trace_n =
 let trace_file =
   Arg.(value & opt (some string) None
        & info [ "trace-file" ] ~docv:"PATH"
-           ~doc:"Write the first trial's complete event trace to PATH as JSONL (one \
-                 shared file, so this forces --jobs 1; other trials run untraced).")
+           ~doc:"Write every trial's complete event trace as JSONL, one seed-suffixed \
+                 file per trial (PATH of t.jsonl gives t.seedN.jsonl), each finalized \
+                 with a meta line.  Composes with any --jobs count; combine the files \
+                 later with 'bgpsim analyze --merge DIR'.")
 
 let probe_interval =
   Arg.(value & opt (some float) None
@@ -466,8 +526,8 @@ let spill =
 let json_path =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~docv:"PATH"
-           ~doc:"Also write the attribution as JSON (schema bgp-attr/1) to PATH, or \
-                 to stdout for '-'.")
+           ~doc:"Also write the attribution as JSON (schema bgp-attr/2, or \
+                 bgp-attr-merge/1 with --merge) to PATH, or to stdout for '-'.")
 
 let top =
   Arg.(value & opt int 5
@@ -477,6 +537,31 @@ let max_hops =
   Arg.(value & opt int 40
        & info [ "max-hops" ] ~docv:"N"
            ~doc:"Critical-path hops to print (keeps both ends when longer).")
+
+let per_dest_attr =
+  Arg.(value & flag
+       & info [ "per-dest" ]
+           ~doc:"Also report the per-destination view: each destination's own \
+                 convergence tail decomposed the same way, tail percentiles \
+                 (p50/p95/p99) and the straggler prefixes beyond p95.")
+
+let flame_path =
+  Arg.(value & opt (some string) None
+       & info [ "flame" ] ~docv:"PATH"
+           ~doc:"Write collapsed-stack lines ('frames value', microseconds) to PATH \
+                 for inferno / flamegraph.pl / speedscope.  Aggregate \
+                 router;component stacks by default; per-destination \
+                 dest;router;component stacks with --per-dest; one aggregate per \
+                 trial with --merge.")
+
+let merge_dir =
+  Arg.(value & opt (some string) None
+       & info [ "merge" ] ~docv:"DIR"
+           ~doc:"Skip simulation: read every finalized per-trial trace file \
+                 (*.jsonl, from 'bgpsim --trace-file') under DIR, re-derive each \
+                 trial's attribution, and report the merged sweep — pooled tail \
+                 percentiles and the worst straggler destinations across trials.  \
+                 Scenario options are ignored.")
 
 let analyze_cmd =
   let doc = "attribute one run's convergence delay to its causes" in
@@ -489,13 +574,18 @@ let analyze_cmd =
          convergence delay into queueing, processing, MRAI hold and propagation time \
          — per hop, per router, and in total.  The component totals sum exactly to \
          the measured convergence delay.";
+      `P
+        "The same walk runs once per destination (--per-dest), decomposing every \
+         prefix's own convergence tail, and the whole analysis exports as \
+         collapsed-stack flamegraphs (--flame) or re-runs over the finalized trace \
+         files of a sweep without simulating anything (--merge).";
     ]
   in
   Cmd.v
     (Cmd.info "analyze" ~doc ~man)
     Term.(
       const analyze_main $ opts_term $ capacity $ spill $ json_path $ top $ max_hops
-      $ quiet)
+      $ per_dest_attr $ flame_path $ merge_dir $ quiet)
 
 let cmd =
   let doc = "simulate BGP re-convergence after a large-scale failure" in

@@ -78,4 +78,26 @@ let () =
     (Trace.sends_by_router trace);
   Fmt.pr
     "@.The highest-degree routers dominate the storm -- the observation behind@.\
-     the paper's degree-dependent MRAI (Section 4.2).@."
+     the paper's degree-dependent MRAI (Section 4.2).@.";
+  (* Per-destination anatomy: which prefixes dragged the tail, and why. *)
+  let module Attribution = Bgp_netsim.Attribution in
+  let attr = Attribution.analyze ~t_fail (Trace.events trace) in
+  Fmt.pr
+    "@.%d destinations re-converged (tail p50 %.2f s, p95 %.2f s); the 5 slowest:@."
+    attr.Attribution.tails.Attribution.n_dests attr.Attribution.tails.Attribution.p50
+    attr.Attribution.tails.Attribution.p95;
+  List.iteri
+    (fun i (d : Attribution.dest_attr) ->
+      if i < 5 then
+        Fmt.pr "  dest %3d: %5.2f s tail over %3d hops, mostly %s@." d.Attribution.dest
+          d.Attribution.tail
+          (List.length d.Attribution.dest_path)
+          (Attribution.dominant d.Attribution.dest_parts))
+    attr.Attribution.per_dest;
+  (* Collapsed stacks for a flamegraph of where the network's time went:
+     render with inferno-flamegraph or drag into speedscope.app. *)
+  let folded = "convergence_anatomy.folded" in
+  let oc = open_out folded in
+  output_string oc (Attribution.to_flamegraph ~mode:Attribution.Flame_aggregate attr);
+  close_out oc;
+  Fmt.pr "@.wrote %s (collapsed stacks; feed to inferno or speedscope)@." folded

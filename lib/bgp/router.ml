@@ -75,7 +75,7 @@ type t = {
   mutable last_level : int;  (* for dynamic_restart_timers *)
   damping : Damping.t option;
   (* Routes received while suppressed, reinstalled at their reuse time. *)
-  parked : (router_id * dest, session_kind * path) Hashtbl.t;
+  parked : (router_id * dest, session_kind * path * int) Hashtbl.t;
   (* Load window for the utilization / message-count detectors. *)
   mutable window_start : float;
   mutable busy_in_window : float;
@@ -454,12 +454,15 @@ let rec schedule_reuse_check t damping ~src ~dest =
                then schedule_reuse_check t damping ~src ~dest
                else begin
                  match Hashtbl.find_opt t.parked (src, dest) with
-                 | Some (kind, path) ->
+                 | Some (kind, path, cause) ->
                    Hashtbl.remove t.parked (src, dest);
                    Rib.set_in t.rib dest ~peer:src ~kind path;
-                   (* Reuse is driven by penalty decay, not by a traced
-                      event: exports it triggers are causal roots. *)
-                   t.cur_cause <- -1;
+                   (* The reuse timer fires on penalty decay, but the
+                      announcement it releases was caused by the update
+                      whose processing parked the route — thread that
+                      cause through so damped paths attribute end to
+                      end. *)
+                   t.cur_cause <- cause;
                    reconsider t dest;
                    activity t
                  | None -> ()
@@ -480,7 +483,7 @@ let apply_update_with_damping t damping peer ~src update =
       Rib.withdraw_in t.rib dest ~peer:src
     end
     else if Damping.is_suppressed damping ~peer:src ~dest ~now then begin
-      Hashtbl.replace t.parked (src, dest) (peer.kind, path);
+      Hashtbl.replace t.parked (src, dest) (peer.kind, path, t.cur_cause);
       Rib.withdraw_in t.rib dest ~peer:src;
       schedule_reuse_check t damping ~src ~dest
     end

@@ -32,6 +32,12 @@ type attribution = {
   attr_propagation : float;
   attr_hops : int;
   attr_complete : bool;
+  attr_dests : int;
+  attr_tail_p50 : float;
+  attr_tail_p95 : float;
+  attr_tail_p99 : float;
+  attr_straggler_dest : int;
+  attr_straggler_tail : float;
 }
 
 type t = {
@@ -170,8 +176,18 @@ let to_json t =
     buf_float buf a.attr_mrai_hold;
     Buffer.add_string buf ", \"propagation_s\": ";
     buf_float buf a.attr_propagation;
-    Printf.bprintf buf ", \"critical_hops\": %d, \"complete\": %b}" a.attr_hops
-      a.attr_complete);
+    Printf.bprintf buf ", \"critical_hops\": %d, \"complete\": %b" a.attr_hops
+      a.attr_complete;
+    Printf.bprintf buf ", \"dests\": %d, \"tail_p50_s\": " a.attr_dests;
+    buf_float buf a.attr_tail_p50;
+    Buffer.add_string buf ", \"tail_p95_s\": ";
+    buf_float buf a.attr_tail_p95;
+    Buffer.add_string buf ", \"tail_p99_s\": ";
+    buf_float buf a.attr_tail_p99;
+    Printf.bprintf buf ", \"straggler_dest\": %d, \"straggler_tail_s\": "
+      a.attr_straggler_dest;
+    buf_float buf a.attr_straggler_tail;
+    Buffer.add_char buf '}');
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 

@@ -68,6 +68,15 @@ let results ?jobs scenario ~trials =
       Mutex.unlock lock;
       Printexc.raise_with_backtrace e bt)
 
+(* Traced runs bypass the memo cache entirely: a trial's result is now
+   tied to its trace (and its spill file on disk), which a cache hit
+   would not reproduce — and the cache key Marshals the scenario, which
+   a Trace.t's out_channel cannot survive anyway. *)
+let traced_results ?jobs ?capacity ?spill_base scenario ~trials =
+  let pairs = Runner.traced ?capacity ?spill_base scenario ~trials in
+  let results = Pool.map ?jobs (fun (s, _) -> Runner.run s) pairs in
+  List.map2 (fun r (_, trace) -> (r, trace)) results pairs
+
 let prefetch ?jobs specs =
   (* Claim every uncached key in one pass; a key listed twice is only
      claimed once (the second occurrence sees the Computing marker). *)

@@ -21,6 +21,20 @@ val results :
     Independent of [jobs] — parallel and sequential runs return
     structurally identical results. *)
 
+val traced_results :
+  ?jobs:int ->
+  ?capacity:int ->
+  ?spill_base:string ->
+  Bgp_netsim.Runner.scenario ->
+  trials:int ->
+  (Bgp_netsim.Runner.result * Bgp_netsim.Trace.t) list
+(** Like {!results} but with every trial traced ({!Bgp_netsim.Runner.traced}):
+    each trial gets its own trace, spilling to a seed-suffixed file when
+    [spill_base] is given, so traced sweeps parallelize like untraced
+    ones.  Never cached — a trial's value is its trace, which a memo hit
+    would not reproduce.  Traces are returned open; callers
+    {!Bgp_netsim.Trace.finalize} (or [close]) them. *)
+
 val prefetch : ?jobs:int -> (Bgp_netsim.Runner.scenario * int) list -> unit
 (** [prefetch specs] fills the cache for every uncached
     [(scenario, trials)] pair in [specs], fanning {e all} their trial

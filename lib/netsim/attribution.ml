@@ -17,8 +17,34 @@ let add a b =
 
 let total c = c.queueing +. c.processing +. c.mrai_hold +. c.propagation
 
+let component_names = [ "queueing"; "processing"; "mrai_hold"; "propagation" ]
+
+let component c = function
+  | "queueing" -> c.queueing
+  | "processing" -> c.processing
+  | "mrai_hold" -> c.mrai_hold
+  | "propagation" -> c.propagation
+  | name -> invalid_arg ("Attribution.component: unknown component " ^ name)
+
+let dominant c =
+  List.fold_left
+    (fun best name -> if component c name > component c best then name else best)
+    "queueing" component_names
+
 type hop = { event : Trace.event; parts : components }
 type router_stat = { router : int; residency : float; parts : components; hops : int }
+
+type dest_attr = {
+  dest : int;
+  tail : float;
+  dest_complete : bool;
+  dest_parts : components;
+  dest_path : hop list;
+}
+
+type tail_summary = { n_dests : int; p50 : float; p95 : float; p99 : float }
+
+let no_tails = { n_dests = 0; p50 = 0.0; p95 = 0.0; p99 = 0.0 }
 
 type t = {
   t_fail : float;
@@ -28,55 +54,115 @@ type t = {
   critical_path : hop list;
   per_router : router_stat list;
   aggregate : components;
+  aggregate_by_router : (int * components) list;
   events : int;
+  per_dest : dest_attr list;
+  tails : tail_summary;
 }
 
 (* Decompose one event's hop latency — its time minus its cause's time
    ([gap]) — into the four components.  Whatever a constructor cannot
    account for from its own timestamps is propagation, so the parts sum
-   to [gap] by construction and the chain telescopes exactly. *)
-let parts_of_event event ~gap =
+   to [gap] by construction and the chain telescopes exactly.  [floor]
+   clips the event's own timestamps for root hops measured against
+   [t_fail]: a cause chain reaching back before the failure (e.g. a
+   damping suppression begun during warmup) must not attribute
+   pre-failure waiting to the post-failure window. *)
+let parts_of_event event ~gap ~floor =
   match event with
   | Trace.Processed { time; enqueued; started; _ } ->
+    let enqueued = Float.max enqueued floor in
+    let started = Float.max started floor in
     let queueing = started -. enqueued in
     let processing = time -. started in
     { queueing; processing; mrai_hold = 0.0; propagation = gap -. queueing -. processing }
   | Trace.Mrai_flush { time; ready; _ } ->
-    let mrai_hold = time -. ready in
+    let mrai_hold = time -. Float.max ready floor in
     { zero with mrai_hold; propagation = gap -. mrai_hold }
   | Trace.Update_sent _ | Trace.Update_delivered _ | Trace.Session_down _
   | Trace.Router_failed _ ->
     { zero with propagation = gap }
 
+(* Latest event by (time, id); [id] breaks ties towards the event
+   recorded last, hence causally downstream. *)
+let latest events =
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | None -> Some e
+      | Some best ->
+        let te = Trace.time_of e and tb = Trace.time_of best in
+        if te > tb || (te = tb && Trace.id_of e > Trace.id_of best) then Some e else acc)
+    None events
+
+(* Nearest-rank percentile over an ascending array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let summarize_tails per_dest =
+  match per_dest with
+  | [] -> no_tails
+  | dests ->
+    let tails = Array.of_list (List.map (fun d -> d.tail) dests) in
+    Array.sort Float.compare tails;
+    {
+      n_dests = Array.length tails;
+      p50 = percentile tails 0.50;
+      p95 = percentile tails 0.95;
+      p99 = percentile tails 0.99;
+    }
+
 let analyze ~t_fail events =
   let post = List.filter (fun e -> Trace.time_of e >= t_fail) events in
   let n_events = List.length post in
-  let by_id = Hashtbl.create (2 * n_events) in
-  List.iter (fun e -> Hashtbl.replace by_id (Trace.id_of e) e) post;
-  (* The gap of [event] to its cause, or to [t_fail] for roots; [None]
-     when the cause was evicted from the ring (chain broken). *)
-  let gap_of event =
+  (* Index every event (warmup included): a post-failure event may be
+     caused by a pre-failure one — e.g. a damping reuse of a route parked
+     during warmup — and such a chain roots at the analysis boundary
+     rather than counting as broken. *)
+  let by_id = Hashtbl.create (2 * List.length events) in
+  List.iter (fun e -> Hashtbl.replace by_id (Trace.id_of e) e) events;
+  (* How [event] connects backwards: a true causal root, a chain that
+     crosses the failure boundary (rooted at [t_fail]), a resolvable
+     cause, or a cause evicted from the ring (chain broken). *)
+  let resolve event =
     let cause = Trace.cause_of event in
-    if cause = Trace.no_cause then Some (Trace.time_of event -. t_fail)
+    if cause = Trace.no_cause then `Root
     else
       match Hashtbl.find_opt by_id cause with
-      | Some c -> Some (Trace.time_of event -. Trace.time_of c)
-      | None -> None
+      | None -> `Broken
+      | Some c -> if Trace.time_of c < t_fail then `Pre_failure else `Cause c
   in
-  (* Terminal: latest timestamp; among simultaneous events the highest id
-     (recorded last, hence causally downstream). *)
-  let terminal =
-    List.fold_left
-      (fun acc e ->
-        match acc with
-        | None -> Some e
-        | Some best ->
-          let te = Trace.time_of e and tb = Trace.time_of best in
-          if te > tb || (te = tb && Trace.id_of e > Trace.id_of best) then Some e
-          else acc)
-      None post
+  let gap_of event =
+    match resolve event with
+    | `Root | `Pre_failure -> Some (Trace.time_of event -. t_fail)
+    | `Cause c -> Some (Trace.time_of event -. Trace.time_of c)
+    | `Broken -> None
   in
-  match terminal with
+  (* The terminal-parameterized walk: follow cause pointers from
+     [terminal] back to a root, building the path root first.  The same
+     walk serves the network-wide critical path and every destination's
+     own tail. *)
+  let walk_from terminal =
+    let rec walk event acc =
+      match resolve event with
+      | `Broken -> (false, { event; parts = zero } :: acc)
+      | `Root | `Pre_failure ->
+        let gap = Trace.time_of event -. t_fail in
+        (true, { event; parts = parts_of_event event ~gap ~floor:t_fail } :: acc)
+      | `Cause c ->
+        let gap = Trace.time_of event -. Trace.time_of c in
+        walk c ({ event; parts = parts_of_event event ~gap ~floor:Float.neg_infinity } :: acc)
+    in
+    walk terminal []
+  in
+  let path_totals path =
+    List.fold_left (fun acc (hop : hop) -> add acc hop.parts) zero path
+  in
+  match latest post with
   | None ->
     {
       t_fail;
@@ -86,24 +172,14 @@ let analyze ~t_fail events =
       critical_path = [];
       per_router = [];
       aggregate = zero;
+      aggregate_by_router = [];
       events = 0;
+      per_dest = [];
+      tails = no_tails;
     }
   | Some terminal ->
-    (* Walk the cause chain terminal -> root, building the path root
-       first. *)
-    let rec walk event acc =
-      let cause = Trace.cause_of event in
-      match gap_of event with
-      | None -> (false, { event; parts = zero } :: acc)
-      | Some gap ->
-        let hop = { event; parts = parts_of_event event ~gap } in
-        if cause = Trace.no_cause then (true, hop :: acc)
-        else walk (Hashtbl.find by_id cause) (hop :: acc)
-    in
-    let complete, critical_path = walk terminal [] in
-    let totals =
-      List.fold_left (fun acc (hop : hop) -> add acc hop.parts) zero critical_path
-    in
+    let complete, critical_path = walk_from terminal in
+    let totals = path_totals critical_path in
     let per_router =
       let table = Hashtbl.create 16 in
       List.iter
@@ -123,13 +199,55 @@ let analyze ~t_fail events =
              | 0 -> Int.compare a.router b.router
              | c -> c)
     in
-    let aggregate =
-      List.fold_left
-        (fun acc e ->
-          match gap_of e with
-          | None -> acc
-          | Some gap -> add acc (parts_of_event e ~gap))
-        zero post
+    (* The aggregate decomposition — the same per-event split summed over
+       every post-failure event — kept per router so the collapsed-stack
+       export can show where the whole network's time went. *)
+    let aggregate, aggregate_by_router =
+      let table = Hashtbl.create 16 in
+      let agg =
+        List.fold_left
+          (fun acc e ->
+            match gap_of e with
+            | None -> acc
+            | Some gap ->
+              let floor =
+                match resolve e with
+                | `Root | `Pre_failure -> t_fail
+                | `Cause _ | `Broken -> Float.neg_infinity
+              in
+              let parts = parts_of_event e ~gap ~floor in
+              let r = Trace.router_of e in
+              Hashtbl.replace table r
+                (add parts (Option.value ~default:zero (Hashtbl.find_opt table r)));
+              add acc parts)
+          zero post
+      in
+      let by_router =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Hashtbl.fold (fun r c acc -> (r, c) :: acc) table [])
+      in
+      (agg, by_router)
+    in
+    (* One attribution per destination: that destination's own terminal,
+       walked back with the same parameterized walk, so each
+       destination's components telescope to its own tail exactly. *)
+    let per_dest =
+      List.map
+        (fun (dest, term) ->
+          let dest_complete, dest_path = walk_from term in
+          {
+            dest;
+            tail = Trace.time_of term -. t_fail;
+            dest_complete;
+            dest_parts = path_totals dest_path;
+            dest_path;
+          })
+        (Trace.terminals_by_dest post)
+      |> List.sort (fun a b ->
+             match Float.compare b.tail a.tail with
+             | 0 -> Int.compare a.dest b.dest
+             | c -> c)
     in
     {
       t_fail;
@@ -139,10 +257,63 @@ let analyze ~t_fail events =
       critical_path;
       per_router;
       aggregate;
+      aggregate_by_router;
       events = n_events;
+      per_dest;
+      tails = summarize_tails per_dest;
     }
 
 let of_trace ~t_fail trace = analyze ~t_fail (Trace.events trace)
+
+let stragglers t = List.filter (fun d -> d.tail > t.tails.p95) t.per_dest
+
+(* --- Collapsed-stack (flamegraph) export --------------------------------- *)
+
+type flame_mode = Flame_aggregate | Flame_per_dest
+
+(* inferno / speedscope collapsed format: semicolon-separated frames and
+   an integer value per line.  Values are microseconds of simulated time,
+   so rounding error is bounded by 0.5 us per emitted line. *)
+let flame_value v = Printf.sprintf "%.0f" (Float.round (v *. 1e6))
+
+let add_flame_lines buf ~prefix parts =
+  List.iter
+    (fun name ->
+      let v = component parts name in
+      if Float.round (v *. 1e6) >= 1.0 then
+        Printf.bprintf buf "%s;%s %s\n" prefix name (flame_value v))
+    component_names
+
+let to_flamegraph ?(mode = Flame_aggregate) t =
+  let buf = Buffer.create 4096 in
+  (match mode with
+  | Flame_aggregate ->
+    List.iter
+      (fun (router, parts) ->
+        add_flame_lines buf ~prefix:(Printf.sprintf "router_%d" router) parts)
+      t.aggregate_by_router
+  | Flame_per_dest ->
+    List.iter
+      (fun d ->
+        let table = Hashtbl.create 16 in
+        let routers = ref [] in
+        List.iter
+          (fun (hop : hop) ->
+            let r = Trace.router_of hop.event in
+            (match Hashtbl.find_opt table r with
+            | None ->
+              routers := r :: !routers;
+              Hashtbl.replace table r hop.parts
+            | Some parts -> Hashtbl.replace table r (add parts hop.parts)))
+          d.dest_path;
+        List.iter
+          (fun r ->
+            add_flame_lines buf
+              ~prefix:(Printf.sprintf "dest_%d;router_%d" d.dest r)
+              (Hashtbl.find table r))
+          (List.sort Int.compare !routers))
+      (List.sort (fun a b -> Int.compare a.dest b.dest) t.per_dest));
+  Buffer.contents buf
 
 (* --- JSON ---------------------------------------------------------------- *)
 
@@ -165,10 +336,28 @@ let kind_of_event = function
   | Trace.Router_failed _ -> "router_failed"
   | Trace.Session_down _ -> "session_down"
 
+let buf_per_dest buf t =
+  Printf.bprintf buf
+    "{\"dests\":%d,\"tail_p50\":%s,\"tail_p95\":%s,\"tail_p99\":%s,\"destinations\":["
+    t.tails.n_dests (json_float t.tails.p50) (json_float t.tails.p95)
+    (json_float t.tails.p99);
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"dest\":%d,\"tail\":%s,\"complete\":%b,\"hops\":%d,\"dominant\":\"%s\",\"parts\":"
+        d.dest (json_float d.tail) d.dest_complete
+        (List.length d.dest_path)
+        (dominant d.dest_parts);
+      buf_components buf d.dest_parts;
+      Buffer.add_char buf '}')
+    t.per_dest;
+  Buffer.add_string buf "]}"
+
 let to_json ?(top = 10) t =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf
-    "{\"schema\":\"bgp-attr/1\",\"t_fail\":%s,\"convergence_delay\":%s,\"complete\":%b,\"events\":%d,"
+    "{\"schema\":\"bgp-attr/2\",\"t_fail\":%s,\"convergence_delay\":%s,\"complete\":%b,\"events\":%d,"
     (json_float t.t_fail)
     (json_float t.convergence_delay)
     t.complete t.events;
@@ -176,6 +365,8 @@ let to_json ?(top = 10) t =
   buf_components buf t.totals;
   Buffer.add_string buf ",\"aggregate\":";
   buf_components buf t.aggregate;
+  Buffer.add_string buf ",\"per_dest\":";
+  buf_per_dest buf t;
   Buffer.add_string buf ",\"critical_path\":[";
   List.iteri
     (fun i hop ->
@@ -200,6 +391,83 @@ let to_json ?(top = 10) t =
         Buffer.add_char buf '}'
       end)
     t.per_router;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* --- Multi-trial merge ---------------------------------------------------- *)
+
+type trial = { trial_seed : int; attr : t }
+
+type merged = {
+  n_trials : int;
+  mean_delay : float;
+  merged_totals : components;
+  merged_aggregate : components;
+  pooled_tails : tail_summary;
+  worst : (int * dest_attr) list;
+}
+
+let merge trials =
+  match trials with
+  | [] -> invalid_arg "Attribution.merge: no trials"
+  | _ ->
+    let n_trials = List.length trials in
+    let mean_delay =
+      List.fold_left (fun acc tr -> acc +. tr.attr.convergence_delay) 0.0 trials
+      /. float_of_int n_trials
+    in
+    let merged_totals =
+      List.fold_left (fun acc tr -> add acc tr.attr.totals) zero trials
+    in
+    let merged_aggregate =
+      List.fold_left (fun acc tr -> add acc tr.attr.aggregate) zero trials
+    in
+    let pooled =
+      List.concat_map
+        (fun tr -> List.map (fun d -> (tr.trial_seed, d)) tr.attr.per_dest)
+        trials
+    in
+    let pooled_tails =
+      summarize_tails (List.map snd pooled)
+    in
+    let worst =
+      List.sort
+        (fun (sa, a) (sb, b) ->
+          match Float.compare b.tail a.tail with
+          | 0 -> ( match Int.compare sa sb with 0 -> Int.compare a.dest b.dest | c -> c)
+          | c -> c)
+        pooled
+    in
+    { n_trials; mean_delay; merged_totals; merged_aggregate; pooled_tails; worst }
+
+let merged_to_json ?(top = 10) m =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\"schema\":\"bgp-attr-merge/1\",\"trials\":%d,\"mean_delay\":%s," m.n_trials
+    (json_float m.mean_delay);
+  Buffer.add_string buf "\"totals\":";
+  buf_components buf m.merged_totals;
+  Buffer.add_string buf ",\"aggregate\":";
+  buf_components buf m.merged_aggregate;
+  Printf.bprintf buf
+    ",\"pooled_tails\":{\"dests\":%d,\"tail_p50\":%s,\"tail_p95\":%s,\"tail_p99\":%s},"
+    m.pooled_tails.n_dests
+    (json_float m.pooled_tails.p50)
+    (json_float m.pooled_tails.p95)
+    (json_float m.pooled_tails.p99);
+  Buffer.add_string buf "\"stragglers\":[";
+  List.iteri
+    (fun i (seed, d) ->
+      if i < top then begin
+        if i > 0 then Buffer.add_char buf ',';
+        Printf.bprintf buf
+          "{\"seed\":%d,\"dest\":%d,\"tail\":%s,\"dominant\":\"%s\",\"parts\":" seed
+          d.dest (json_float d.tail)
+          (dominant d.dest_parts);
+        buf_components buf d.dest_parts;
+        Buffer.add_char buf '}'
+      end)
+    m.worst;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
@@ -245,3 +513,44 @@ let pp ?(top = 5) ?(max_hops = 40) ppf t =
             stat.hops pp_components stat.parts)
       t.per_router
   end
+
+let pp_per_dest ?(top = 5) ppf t =
+  Fmt.pf ppf "Per-destination convergence tails@.";
+  Fmt.pf ppf "  %d destinations re-converged; tail p50 %.4fs, p95 %.4fs, p99 %.4fs@."
+    t.tails.n_dests t.tails.p50 t.tails.p95 t.tails.p99;
+  let late = stragglers t in
+  if late = [] then Fmt.pf ppf "  no stragglers beyond the p95 tail@."
+  else begin
+    Fmt.pf ppf "  %d straggler(s) beyond the p95 tail:@." (List.length late);
+    List.iteri
+      (fun i d ->
+        if i < top then
+          Fmt.pf ppf "    dest %3d: tail %.4fs (%d hops, dominant %s) — %a@." d.dest
+            d.tail
+            (List.length d.dest_path)
+            (dominant d.dest_parts) pp_components d.dest_parts)
+      late
+  end;
+  Fmt.pf ppf "  slowest destinations:@.";
+  List.iteri
+    (fun i d ->
+      if i < top then
+        Fmt.pf ppf "    dest %3d: tail %.4fs%s — %a@." d.dest d.tail
+          (if d.dest_complete then "" else " [INCOMPLETE]")
+          pp_components d.dest_parts)
+    t.per_dest
+
+let pp_merged ?(top = 5) ppf m =
+  Fmt.pf ppf "Merged attribution over %d traced trials@." m.n_trials;
+  Fmt.pf ppf "  mean convergence delay %.4fs@." m.mean_delay;
+  Fmt.pf ppf "  critical paths: %a@." pp_components m.merged_totals;
+  Fmt.pf ppf "  network-wide:   %a@." pp_components m.merged_aggregate;
+  Fmt.pf ppf "  pooled tails over %d (trial, dest) pairs: p50 %.4fs, p95 %.4fs, p99 %.4fs@."
+    m.pooled_tails.n_dests m.pooled_tails.p50 m.pooled_tails.p95 m.pooled_tails.p99;
+  Fmt.pf ppf "  worst straggler destinations across the sweep:@.";
+  List.iteri
+    (fun i (seed, d) ->
+      if i < top then
+        Fmt.pf ppf "    seed %3d dest %3d: tail %.4fs (dominant %s)@." seed d.dest d.tail
+          (dominant d.dest_parts))
+    m.worst

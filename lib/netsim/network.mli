@@ -25,7 +25,10 @@ type config = {
   relationships : Relationships.t option;
       (** Gao-Rexford policies on eBGP sessions; [None] (default) is the
           paper's policy-free operation *)
-  trace : Trace.t option;  (** record message/failure events when set *)
+  trace : Trace.t option;
+      (** record message/failure events when set.  A trace belongs to one
+          run: parallel trials each need their own instance (and their
+          own spill file — {!Runner.traced} builds seed-suffixed ones) *)
   telemetry : Telemetry.config option;
       (** enable the telemetry layer (probes + counter registry); [None]
           (default) is zero-cost — see {!Telemetry} *)

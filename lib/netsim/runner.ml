@@ -169,6 +169,18 @@ let run s =
     attribution;
   }
 
+let trace_path ~base ~seed =
+  let ext = Filename.extension base in
+  Filename.remove_extension base ^ ".seed" ^ string_of_int seed ^ ext
+
+let traced ?capacity ?spill_base s ~trials =
+  if trials <= 0 then invalid_arg "Runner.traced: trials must be positive";
+  List.init trials (fun i ->
+      let seed = s.seed + i in
+      let spill = Option.map (fun base -> trace_path ~base ~seed) spill_base in
+      let trace = Trace.create ?capacity ?spill () in
+      ({ s with seed; net = { s.net with Network.trace = Some trace } }, trace))
+
 let run_mean s ~trials ~metric =
   let stats = Stats.create () in
   for i = 0 to trials - 1 do

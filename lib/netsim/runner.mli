@@ -84,3 +84,26 @@ val run : scenario -> result
 val run_mean :
   scenario -> trials:int -> metric:(result -> float) -> Bgp_engine.Stats.summary
 (** Run [trials] seeds ([seed], [seed+1], ...) and summarize a metric. *)
+
+(** {2 Traced trials}
+
+    Tracing a sweep used to mean one shared spill file and hence one
+    domain; giving every trial its own trace (and its own seed-suffixed
+    spill file) makes traced sweeps embarrassingly parallel again. *)
+
+val trace_path : base:string -> seed:int -> string
+(** The per-trial spill path: [trace_path ~base:"t.jsonl" ~seed:7] is
+    ["t.seed7.jsonl"] (the seed suffix goes before the extension). *)
+
+val traced :
+  ?capacity:int ->
+  ?spill_base:string ->
+  scenario ->
+  trials:int ->
+  (scenario * Trace.t) list
+(** Expand a scenario into [trials] per-trial scenarios (seeds [seed],
+    [seed+1], ...), each with a fresh {!Trace.t} attached; with
+    [spill_base] each trace spills to {!trace_path}[ ~base:spill_base].
+    The traces are returned so the caller can inspect, {!Trace.finalize}
+    or close them after running.
+    @raise Invalid_argument if [trials <= 0]. *)

@@ -75,6 +75,34 @@ let router_of = function
   | Processed { router; _ } | Mrai_flush { router; _ } -> router
   | Router_failed { router; _ } | Session_down { router; _ } -> router
 
+let dest_of = function
+  | Update_sent { update; _ } | Update_delivered { update; _ } ->
+    Some (Types.update_dest update)
+  | Processed { dest; _ } -> if dest >= 0 then Some dest else None
+  | Mrai_flush { dest; _ } -> Some dest
+  | Router_failed _ | Session_down _ -> None
+
+(* Latest event per destination, max (time, id) — the same tie-break the
+   network-wide terminal uses, so a destination's terminal is the event
+   recorded last among simultaneous ones (causally downstream). *)
+let terminals_by_dest events =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match dest_of e with
+      | None -> ()
+      | Some dest -> (
+        match Hashtbl.find_opt table dest with
+        | None -> Hashtbl.replace table dest e
+        | Some best ->
+          let te = time_of e and tb = time_of best in
+          if te > tb || (te = tb && id_of e > id_of best) then
+            Hashtbl.replace table dest e))
+    events;
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun dest e acc -> (dest, e) :: acc) table [])
+
 let pp_event ppf = function
   | Update_sent { id; time; src; dst; update; cause } ->
     Fmt.pf ppf "%10.4f  #%-6d %3d -> %3d  send %a (cause #%d)" time id src dst
@@ -378,6 +406,41 @@ let event_of_json ~paths line =
   | Bad msg -> Error msg
   | Failure msg -> Error msg
 
+(* --- Run-meta line --------------------------------------------------------- *)
+
+(* One JSONL line carrying what a trace file cannot reconstruct from its
+   events: the trial's seed and failure-injection time.  Appended by
+   [finalize] so a seed-suffixed per-trial file is self-describing and a
+   merge pass ([Attribution.merge]) can re-analyze it standalone. *)
+
+type run_meta = { seed : int; t_fail : float }
+
+let meta_prefix = "{\"type\":\"meta\""
+
+let meta_to_json m =
+  Printf.sprintf "{\"type\":\"meta\",\"schema\":\"bgp-trace/1\",\"seed\":%d,\"t_fail\":%s}"
+    m.seed (json_float m.t_fail)
+
+let is_meta_line line =
+  String.length line >= String.length meta_prefix
+  && String.sub line 0 (String.length meta_prefix) = meta_prefix
+
+let meta_of_json line =
+  try
+    let obj =
+      match parse_json line with Obj o -> o | _ -> raise (Bad "expected an object")
+    in
+    let num key =
+      match List.assoc_opt key obj with
+      | Some (Num s) -> s
+      | Some _ -> raise (Bad (key ^ ": expected a number"))
+      | None -> raise (Bad (Printf.sprintf "missing field %S" key))
+    in
+    Ok { seed = int_of_string (num "seed"); t_fail = float_of_string (num "t_fail") }
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg
+
 (* --- Ring buffer + spill sink --------------------------------------------- *)
 
 type t = {
@@ -458,6 +521,7 @@ let read_spilled t =
           let rec go acc =
             match In_channel.input_line ic with
             | None -> List.rev acc
+            | Some line when is_meta_line line -> go acc
             | Some line ->
               (match event_of_json ~paths line with
               | Ok event -> go (event :: acc)
@@ -468,6 +532,48 @@ let read_spilled t =
     end
 
 let events t = read_spilled t @ to_list t
+
+let finalize t ~meta =
+  match t.spill with
+  | None -> invalid_arg "Trace.finalize: the trace has no spill file"
+  | Some path ->
+    close t;
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (event_to_json e);
+            output_char oc '\n')
+          (to_list t);
+        output_string oc (meta_to_json meta);
+        output_char oc '\n');
+    (* The file is now the complete record; empty the ring so [events]
+       (which splices file + ring) does not double-count the tail. *)
+    t.size <- 0;
+    t.next <- 0
+
+let read_file ~paths path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go meta acc =
+        match In_channel.input_line ic with
+        | None -> (meta, List.rev acc)
+        | Some line when is_meta_line line ->
+          (match meta_of_json line with
+          | Ok m -> go (Some m) acc
+          | Error msg ->
+            failwith (Printf.sprintf "Trace.read_file: bad meta line (%s): %s" msg line))
+        | Some line ->
+          (match event_of_json ~paths line with
+          | Ok event -> go meta (event :: acc)
+          | Error msg ->
+            failwith (Printf.sprintf "Trace.read_file: bad line (%s): %s" msg line))
+      in
+      go None [])
 
 let count t ~pred = List.length (List.filter pred (to_list t))
 

@@ -80,6 +80,17 @@ val router_of : event -> int
     [Update_sent], the receiver for [Update_delivered], the processing /
     flushing / noticing router otherwise. *)
 
+val dest_of : event -> int option
+(** The destination prefix the event is about: the update's destination
+    for sends/deliveries/flushes and for update-processing completions;
+    [None] for failure events and peer-down work items. *)
+
+val terminals_by_dest : event list -> (int * event) list
+(** Index the {e terminal} event of each destination: for every
+    destination with at least one event, the latest event about it (max
+    [(time, id)], the same tie-break {!Attribution} uses for the
+    network-wide terminal).  Sorted by destination. *)
+
 val pp_event : Format.formatter -> event -> unit
 
 type t
@@ -131,6 +142,32 @@ val dump : ?limit:int -> Format.formatter -> t -> unit
 val clear : t -> unit
 (** Drop all events (and truncate the spill file, if any).  Ids keep
     counting. *)
+
+(** {2 Per-trial trace files}
+
+    A finalized trace file is the complete, self-describing record of one
+    trial: every event in order as JSONL plus one trailing meta line
+    carrying the trial's seed and failure time.  {!Runner.trace_path}
+    derives a seed-suffixed path per trial, so traced trials of a sweep
+    parallelize (no shared file) and {!Attribution.merge} can combine
+    them afterwards. *)
+
+type run_meta = { seed : int; t_fail : float }
+
+val meta_to_json : run_meta -> string
+(** One JSONL line ([{"type":"meta",...}]), no trailing newline. *)
+
+val finalize : t -> meta:run_meta -> unit
+(** Close the sink, append the in-memory tail and the meta line to the
+    spill file — making the file the complete record — and empty the
+    ring (so {!events}, which re-reads the file, stays duplicate-free).
+    @raise Invalid_argument if the trace has no spill file. *)
+
+val read_file :
+  paths:Bgp_proto.Path.table -> string -> run_meta option * event list
+(** Read a trace file back: events in file order plus the meta line if
+    present ([None] for a bare spill file that was never finalized).
+    @raise Failure on a malformed line. *)
 
 (** {2 JSONL serialization} *)
 

@@ -135,7 +135,36 @@ let check_family name scenario () =
         0.0 attr.Attribution.per_router
     in
     nearf (ctx "router residencies sum to delay") plain.Runner.convergence_delay
-      residency_sum
+      residency_sum;
+    (* per-destination attributions: every destination's components
+       telescope to its own measured tail, every chain roots, and the
+       slowest tail is the network-wide delay *)
+    checkb (ctx "some destination re-converged") true (attr.Attribution.per_dest <> []);
+    List.iter
+      (fun (d : Attribution.dest_attr) ->
+        let dctx field = ctx (Printf.sprintf "dest %d: %s" d.Attribution.dest field) in
+        checkb (dctx "complete") true d.Attribution.dest_complete;
+        nearf (dctx "components sum to tail") d.Attribution.tail
+          (Attribution.total d.Attribution.dest_parts);
+        match List.rev d.Attribution.dest_path with
+        | [] -> Alcotest.fail (dctx "empty path")
+        | terminal :: _ ->
+          exactf (dctx "terminal timestamp = t_fail + tail")
+            (attr.Attribution.t_fail +. d.Attribution.tail)
+            (Trace.time_of terminal.Attribution.event))
+      attr.Attribution.per_dest;
+    (match attr.Attribution.per_dest with
+    | slowest :: _ ->
+      exactf (ctx "slowest tail = convergence delay")
+        attr.Attribution.convergence_delay slowest.Attribution.tail
+    | [] -> ());
+    (* tails are ordered and the summary percentiles bracket them *)
+    checki (ctx "tail summary counts per_dest")
+      (List.length attr.Attribution.per_dest)
+      attr.Attribution.tails.Attribution.n_dests;
+    checkb (ctx "p50 <= p95 <= p99") true
+      (attr.Attribution.tails.Attribution.p50 <= attr.Attribution.tails.Attribution.p95
+      && attr.Attribution.tails.Attribution.p95 <= attr.Attribution.tails.Attribution.p99)
   done
 
 (* (3a): a tiny ring that spills to JSONL must reconstruct the identical
@@ -219,7 +248,7 @@ let check_attr_json () =
     | Some v -> v
     | None -> Alcotest.failf "missing float %s" key
   in
-  Alcotest.check Alcotest.string "schema" "bgp-attr/1" (str_member "schema");
+  Alcotest.check Alcotest.string "schema" "bgp-attr/2" (str_member "schema");
   let totals =
     match Report.member "totals" json with
     | Some o -> o
@@ -242,9 +271,39 @@ let check_attr_json () =
   in
   checki "json path length" (List.length attr.Attribution.critical_path)
     (List.length path);
-  match Option.bind (Report.member "per_router" json) Report.to_list with
+  (match Option.bind (Report.member "per_router" json) Report.to_list with
   | Some (_ :: _) -> ()
-  | _ -> Alcotest.fail "missing per_router"
+  | _ -> Alcotest.fail "missing per_router");
+  let per_dest =
+    match Report.member "per_dest" json with
+    | Some o -> o
+    | None -> Alcotest.fail "missing per_dest"
+  in
+  (match Option.bind (Report.member "dests" per_dest) Report.to_float with
+  | Some n -> exactf "json dests" (float_of_int attr.Attribution.tails.Attribution.n_dests) n
+  | None -> Alcotest.fail "missing per_dest.dests");
+  match Option.bind (Report.member "destinations" per_dest) Report.to_list with
+  | Some dests ->
+    checki "json destinations length"
+      (List.length attr.Attribution.per_dest)
+      (List.length dests);
+    (* each serialized destination's parts sum to its tail *)
+    List.iter
+      (fun d ->
+        let parts =
+          match Report.member "parts" d with
+          | Some o -> o
+          | None -> Alcotest.fail "missing destination parts"
+        in
+        let sum =
+          float_member parts "queueing"
+          +. float_member parts "processing"
+          +. float_member parts "mrai_hold"
+          +. float_member parts "propagation"
+        in
+        nearf "json dest parts sum to tail" (float_member d "tail") sum)
+      dests
+  | None -> Alcotest.fail "missing per_dest.destinations"
 
 (* Bench reports carry the attribution block through their own emitter. *)
 let check_bench_report_roundtrip () =
@@ -259,6 +318,12 @@ let check_bench_report_roundtrip () =
       attr_propagation = 0.75;
       attr_hops = 42;
       attr_complete = true;
+      attr_dests = 24;
+      attr_tail_p50 = 1.25;
+      attr_tail_p95 = 3.0;
+      attr_tail_p99 = 3.5;
+      attr_straggler_dest = 17;
+      attr_straggler_tail = 3.5;
     };
   let json = Report.of_string (Report.to_json t) in
   let attr =
@@ -275,9 +340,228 @@ let check_bench_report_roundtrip () =
   exactf "queueing" 0.5 (f "queueing_s");
   exactf "mrai_hold" 2.0 (f "mrai_hold_s");
   exactf "hops" 42.0 (f "critical_hops");
+  exactf "dests" 24.0 (f "dests");
+  exactf "tail p50" 1.25 (f "tail_p50_s");
+  exactf "tail p95" 3.0 (f "tail_p95_s");
+  exactf "tail p99" 3.5 (f "tail_p99_s");
+  exactf "straggler dest" 17.0 (f "straggler_dest");
+  exactf "straggler tail" 3.5 (f "straggler_tail_s");
   match Report.member "complete" attr with
   | Some (Report.Bool true) -> ()
   | _ -> Alcotest.fail "complete flag lost"
+
+(* The flat reference scenario must surface at least one straggler: a
+   destination whose tail exceeds the p95 tail (the acceptance criterion
+   for the per-destination view). *)
+let check_stragglers () =
+  (* seed 1 = the reference run bench embeds; 24 destinations re-converge
+     there, enough for p95 to sit below the maximum tail *)
+  let traced = Runner.run (with_trace { flat_scenario with Runner.seed = 1 }) in
+  let attr = get_attr "stragglers" traced in
+  let late = Attribution.stragglers attr in
+  checkb "at least one straggler beyond p95" true (late <> []);
+  List.iter
+    (fun (d : Attribution.dest_attr) ->
+      checkb "straggler is beyond p95" true
+        (d.Attribution.tail > attr.Attribution.tails.Attribution.p95))
+    late;
+  (* stragglers lead the per_dest ranking *)
+  match (late, attr.Attribution.per_dest) with
+  | d :: _, d' :: _ -> checki "slowest straggler ranks first" d'.Attribution.dest d.Attribution.dest
+  | _ -> Alcotest.fail "empty ranking"
+
+(* Flamegraph lines re-sum to the aggregate decomposition (integer
+   microseconds, so each emitted or omitted line may round by 0.5us). *)
+let check_flamegraph_totals () =
+  let traced = Runner.run (with_trace flat_scenario) in
+  let attr = get_attr "flame" traced in
+  let folded = Attribution.to_flamegraph ~mode:Attribution.Flame_aggregate attr in
+  checkb "flamegraph non-empty" true (String.length folded > 0);
+  let lines = String.split_on_char '\n' folded in
+  let lines = List.filter (fun l -> l <> "") lines in
+  let sums = Hashtbl.create 4 in
+  let n_lines = ref 0 in
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "malformed flame line %S" line
+      | Some i ->
+        let stack = String.sub line 0 i in
+        let value =
+          float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        checkb "value is whole microseconds" true (Float.is_integer value);
+        incr n_lines;
+        (match String.split_on_char ';' stack with
+        | [ _router; comp ] ->
+          Hashtbl.replace sums comp
+            (value +. Option.value ~default:0.0 (Hashtbl.find_opt sums comp))
+        | _ -> Alcotest.failf "expected router;component, got %S" stack))
+    lines;
+  let near_us msg expect got =
+    (* 0.5us rounding per line, summed *)
+    let tolerance = 0.5 *. float_of_int !n_lines in
+    if Float.abs (expect -. got) > tolerance then
+      Alcotest.failf "%s: expected %f (+/- %f), got %f" msg expect tolerance got
+  in
+  let sum_of comp = Option.value ~default:0.0 (Hashtbl.find_opt sums comp) in
+  List.iter
+    (fun comp ->
+      near_us
+        (Printf.sprintf "flame %s total" comp)
+        (Attribution.component attr.Attribution.aggregate comp *. 1e6)
+        (sum_of comp))
+    Attribution.component_names
+
+(* Merge over finalized per-trial trace files equals merging the in-memory
+   attributions, and a jobs=4 traced sweep is bit-identical to jobs=1. *)
+let check_merge_and_jobs () =
+  let module Sweep = Bgp_experiments.Sweep in
+  let dir = Filename.temp_file "bgpsim_merge" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let cleanup () = rm_rf dir in
+  Fun.protect ~finally:cleanup (fun () ->
+      let trials = 4 in
+      let sweep jobs sub =
+        Sys.mkdir (Filename.concat dir sub) 0o755;
+        let base = Filename.concat (Filename.concat dir sub) "trace.jsonl" in
+        Sweep.traced_results ~jobs ~spill_base:base flat_scenario ~trials
+      in
+      let seq = sweep 1 "seq" and par = sweep 4 "par" in
+      let trials_of runs =
+        List.mapi
+          (fun i (r, _) ->
+            {
+              Attribution.trial_seed = flat_scenario.Runner.seed + i;
+              attr = get_attr "merge" r;
+            })
+          runs
+      in
+      let seq_trials = trials_of seq and par_trials = trials_of par in
+      (* jobs=4 == jobs=1, per trial and merged *)
+      List.iter2
+        (fun a b ->
+          Alcotest.check Alcotest.string "per-trial attr identical across jobs"
+            (Attribution.to_json a.Attribution.attr)
+            (Attribution.to_json b.Attribution.attr))
+        seq_trials par_trials;
+      let m_seq = Attribution.merge seq_trials in
+      let m_par = Attribution.merge par_trials in
+      Alcotest.check Alcotest.string "merged json identical across jobs"
+        (Attribution.merged_to_json m_seq)
+        (Attribution.merged_to_json m_par);
+      (* finalize the parallel sweep's traces and re-analyze from files *)
+      List.iteri
+        (fun i ((r : Runner.result), trace) ->
+          let attr = get_attr "finalize" r in
+          Trace.finalize trace
+            ~meta:
+              {
+                Trace.seed = flat_scenario.Runner.seed + i;
+                t_fail = attr.Attribution.t_fail;
+              })
+        par;
+      let paths = Path.create_table () in
+      let from_files =
+        List.map
+          (fun (_, trace) ->
+            let file = Option.get (Trace.spill_path trace) in
+            match Trace.read_file ~paths file with
+            | Some meta, events ->
+              {
+                Attribution.trial_seed = meta.Trace.seed;
+                attr = Attribution.analyze ~t_fail:meta.Trace.t_fail events;
+              }
+            | None, _ -> Alcotest.failf "finalized file %s lost its meta line" file)
+          par
+      in
+      (* file-based analyses equal the in-memory union, trial by trial *)
+      List.iter2
+        (fun (a : Attribution.trial) (b : Attribution.trial) ->
+          checki "merge seed" a.Attribution.trial_seed b.Attribution.trial_seed;
+          Alcotest.check Alcotest.string "file analysis = in-memory analysis"
+            (Attribution.to_json a.Attribution.attr)
+            (Attribution.to_json b.Attribution.attr))
+        seq_trials from_files;
+      let m_files = Attribution.merge from_files in
+      Alcotest.check Alcotest.string "merged-from-files json identical"
+        (Attribution.merged_to_json m_seq)
+        (Attribution.merged_to_json m_files))
+
+(* Damping causality: a reuse re-announcement must carry the cause of the
+   update whose processing parked the route, not restart at no_cause —
+   so the only causal roots in a damped post-failure trace are the
+   failure injections themselves. *)
+let damping_scenario =
+  (* aggressive thresholds so suppression (and hence reuse) actually
+     happens inside a short run *)
+  let damping =
+    {
+      Bgp_core.Damping.withdraw_penalty = 1.0;
+      update_penalty = 1.0;
+      half_life = 4.0;
+      cut_threshold = 1.0;
+      reuse_threshold = 0.75;
+      max_suppress = 60.0;
+    }
+  in
+  Runner.scenario
+    ~net:
+      (Network.config_default
+         Config.{ (with_mrai (Static 1.25) default) with damping = Some damping })
+    ~failure:(Runner.Fraction 0.2) ~seed:3
+    (Runner.Flat { spec = Degree_dist.skewed_70_30; n = 24 })
+
+let check_damping_causality () =
+  let trace = Trace.create ~capacity:1_000_000 () in
+  let scenario =
+    {
+      damping_scenario with
+      Runner.net = { damping_scenario.Runner.net with Network.trace = Some trace };
+    }
+  in
+  let result = Runner.run scenario in
+  let attr = get_attr "damping" result in
+  let t_fail = attr.Attribution.t_fail in
+  let post =
+    List.filter (fun e -> Trace.time_of e >= t_fail) (Trace.events trace)
+  in
+  checkb "damping run produced post-failure events" true (post <> []);
+  (* every causal root after the failure is a failure event: reuse
+     re-announcements no longer restart chains at no_cause *)
+  List.iter
+    (fun e ->
+      if Trace.cause_of e = Trace.no_cause then
+        match e with
+        | Trace.Router_failed _ | Trace.Session_down _ -> ()
+        | _ ->
+          Alcotest.failf "orphaned causal root: %s" (Trace.event_to_json e))
+    post;
+  checkb "damped attribution complete" true attr.Attribution.complete;
+  (* the scenario must actually exercise a reuse: some event's cause
+     precedes it by several seconds — the suppression wait threaded
+     through the reuse timer (MRAI gaps are capped at 1.25 s here, so a
+     > 2 s gap can only be a damping reuse) *)
+  let by_id = Hashtbl.create 1024 in
+  List.iter (fun e -> Hashtbl.replace by_id (Trace.id_of e) e) (Trace.events trace);
+  let reuse_gaps =
+    List.filter
+      (fun e ->
+        match Hashtbl.find_opt by_id (Trace.cause_of e) with
+        | Some c -> Trace.time_of e -. Trace.time_of c > 2.0
+        | None -> false)
+      post
+  in
+  checkb "a suppressed update was released with its cause intact" true
+    (reuse_gaps <> [])
 
 let () =
   Alcotest.run "attribution"
@@ -290,6 +574,16 @@ let () =
             (check_family "realistic" realistic_scenario);
           Alcotest.test_case "Tdown ring (4 seeds)" `Quick
             (check_family "tdown" tdown_scenario);
+        ] );
+      ( "per-destination",
+        [
+          Alcotest.test_case "stragglers beyond p95" `Quick check_stragglers;
+          Alcotest.test_case "flamegraph totals = aggregate" `Quick
+            check_flamegraph_totals;
+          Alcotest.test_case "merge: files = memory, jobs=4 = jobs=1" `Quick
+            check_merge_and_jobs;
+          Alcotest.test_case "damping reuse keeps its cause" `Quick
+            check_damping_causality;
         ] );
       ( "serialization",
         [
