@@ -280,17 +280,17 @@ let merge_main dir json_path flame_path top quiet =
     List.filter_map
       (fun file ->
         match Trace.read_file ~paths file with
-        | Some meta, events ->
+        | Ok (Some meta, events) ->
           Some
             {
               Attribution.trial_seed = meta.Trace.seed;
               attr = Attribution.analyze ~t_fail:meta.Trace.t_fail events;
             }
-        | None, _ ->
+        | Ok (None, _) ->
           Fmt.epr "warning: %s has no meta line (not a finalized trace); skipped@." file;
           None
-        | exception Failure m ->
-          Fmt.epr "warning: %s: %s; skipped@." file m;
+        | Error m ->
+          Fmt.epr "warning: %s; skipped@." m;
           None)
       files
   in
@@ -370,6 +370,56 @@ let analyze_main opts capacity spill json_path top max_hops per_dest flame_path 
       in
       Trace.close trace;
       code)
+
+(* --- chaos ---------------------------------------------------------------- *)
+
+module Chaos = Bgp_experiments.Chaos
+
+let chaos_main opts trials jobs max_events horizon replay_every capacity out
+    seed_violation quiet =
+  if jobs < 0 then begin
+    Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
+    exit 1
+  end;
+  match build_scenario opts with
+  | Error m ->
+    Fmt.epr "error: %s@." m;
+    1
+  | Ok scenario -> (
+    match
+      Chaos.config ~trials ~max_events ~horizon ~replay_every ~capacity ~seed_violation
+        scenario
+    with
+    | exception Invalid_argument m ->
+      Fmt.epr "error: %s@." m;
+      1
+    | cfg ->
+      let jobs = if jobs = 0 then None else Some jobs in
+      let campaign = Chaos.run_campaign ?jobs cfg in
+      if not quiet then Fmt.pr "%a" Chaos.pp_campaign campaign;
+      (match out with
+      | None -> ()
+      | Some "-" -> print_endline (Chaos.artifact_to_json cfg campaign)
+      | Some path -> write_file ~quiet path (Chaos.artifact_to_json cfg campaign ^ "\n"));
+      if seed_violation then (
+        (* Self-test mode: success means the harness FOUND the seeded
+           violation, minimized it to a tiny schedule and (with --out)
+           archived it. *)
+        match campaign.Chaos.minimized with
+        | Some m when List.length m.Chaos.m_schedule <= 3 ->
+          if not quiet then
+            Fmt.pr "self-test OK: seeded violation minimized to %d event(s)@."
+              (List.length m.Chaos.m_schedule);
+          0
+        | Some m ->
+          Fmt.epr "self-test FAILED: minimized schedule still has %d events (> 3)@."
+            (List.length m.Chaos.m_schedule);
+          1
+        | None ->
+          Fmt.epr "self-test FAILED: no seeded violation was found or minimized@.";
+          1)
+      else if Chaos.violating campaign = [] then 0
+      else 1)
 
 (* --- Command line -------------------------------------------------------- *)
 
@@ -587,8 +637,69 @@ let analyze_cmd =
       const analyze_main $ opts_term $ capacity $ spill $ json_path $ top $ max_hops
       $ per_dest_attr $ flame_path $ merge_dir $ quiet)
 
+let chaos_trials =
+  Arg.(value & opt int 100
+       & info [ "trials" ] ~docv:"N" ~doc:"Chaos trials to run (seeds seed..seed+N-1).")
+
+let max_events =
+  Arg.(value & opt int 5
+       & info [ "max-events" ] ~docv:"N"
+           ~doc:"Base fault events per schedule (correlated companions can add a few \
+                 more).")
+
+let horizon =
+  Arg.(value & opt float 8.0
+       & info [ "horizon" ] ~docv:"SECONDS"
+           ~doc:"Fault-schedule horizon after the failure instant; every injected \
+                 fault onsets and heals within it.")
+
+let replay_every =
+  Arg.(value & opt int 10
+       & info [ "replay-every" ] ~docv:"K"
+           ~doc:"Rerun every K-th trial and require a bit-identical digest \
+                 (replay-identity invariant).")
+
+let chaos_out =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~docv:"PATH"
+           ~doc:"Write the campaign artifact (schema bgp-chaos/1: fingerprint, \
+                 violating trials, minimized reproducer) to PATH, or stdout for '-'.")
+
+let seed_violation =
+  Arg.(value & flag
+       & info [ "seed-violation" ]
+           ~doc:"Self-test: declare gray-link schedules violating so the \
+                 minimization path is exercised; exit 0 only if the harness finds \
+                 one and minimizes it to at most 3 events.")
+
+let chaos_cmd =
+  let doc = "run a deterministic chaos campaign against the simulator" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs N randomized fault-injection trials of the scenario in parallel.  \
+         Trial i uses seed seed+i, derives a fault schedule from that seed \
+         (partitions that heal, session resets, gray links, delay jitter, clock \
+         skew, correlated bursts), runs fully traced, and checks an invariant \
+         battery: convergence, exact attribution telescoping, causal ordering, \
+         message conservation, queue drain, RIB conservation and periodic replay \
+         bit-identity.";
+      `P
+        "The whole campaign is a pure function of the base seed — the printed \
+         fingerprint must be identical across reruns and across --jobs.  When a \
+         trial violates an invariant, its schedule is delta-debugged (ddmin) and \
+         shrunk to a minimal reproducer, archived with --out.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc ~man)
+    Term.(
+      const chaos_main $ opts_term $ chaos_trials $ jobs $ max_events $ horizon
+      $ replay_every $ capacity $ chaos_out $ seed_violation $ quiet)
+
 let cmd =
   let doc = "simulate BGP re-convergence after a large-scale failure" in
-  Cmd.group ~default:run_term (Cmd.info "bgpsim" ~doc) [ analyze_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "bgpsim" ~doc) [ analyze_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -6,7 +6,7 @@ module Mrai = Bgp_core.Mrai_controller
 module Iq = Bgp_core.Input_queue
 module Damping = Bgp_core.Damping
 
-type work = Update_msg of update | Peer_down_msg
+type work = Update_msg of update | Peer_down_msg | Peer_up_msg
 
 type peer_state = {
   peer_id : router_id;
@@ -527,6 +527,29 @@ let handle_work t (item : work Iq.item) =
     List.iter (Hashtbl.remove t.parked) stale;
     let affected = Rib.drop_peer t.rib ~peer:item.src in
     List.iter (reconsider t) (List.sort Int.compare affected)
+  | Peer_up_msg -> (
+    match Hashtbl.find_opt t.peers item.src with
+    | None -> ()
+    | Some peer ->
+      if peer.up then begin
+        (* Session re-establishment: both sides start from a clean slate
+           (whatever survived the down/up race is dropped) and re-announce
+           their full table, exactly like a real BGP session reset.  The
+           Adj-RIB-Out towards the peer was cleared at [peer_up] time, so
+           every current best route exports as a fresh advertisement,
+           gated by the MRAI as usual. *)
+        let stale =
+          Hashtbl.fold
+            (fun ((src, _) as k) _ acc -> if src = item.src then k :: acc else acc)
+            t.parked []
+        in
+        List.iter (Hashtbl.remove t.parked) stale;
+        let affected = Rib.drop_peer t.rib ~peer:item.src in
+        List.iter (reconsider t) (List.sort Int.compare affected);
+        let dests = ref [] in
+        Rib.iter_dests t.rib (fun d -> dests := d :: !dests);
+        List.iter (fun d -> schedule_export t peer d) (List.sort Int.compare !dests)
+      end)
 
 let rec begin_next t =
   match Iq.pop t.input with
@@ -596,6 +619,22 @@ let peer_down t ?cause peer_id =
         Hashtbl.reset peer.pending;
         Hashtbl.reset peer.flaps;
         enqueue t ?cause ~src:peer_id ~dest:(-1) Peer_down_msg
+      end
+
+let peer_up t ?cause peer_id =
+  if not t.failed then
+    match Hashtbl.find_opt t.peers peer_id with
+    | None -> ()
+    | Some peer ->
+      if not peer.up then begin
+        peer.up <- true;
+        (* Forget the Adj-RIB-Out now: the peer lost everything we ever
+           sent when its side processed the session drop, so the re-sync
+           (the queued [Peer_up_msg]) must re-advertise from scratch. *)
+        Hashtbl.reset peer.advertised;
+        Hashtbl.reset peer.pending;
+        Hashtbl.reset peer.flaps;
+        enqueue t ?cause ~src:peer_id ~dest:(-1) Peer_up_msg
       end
 
 let start t =

@@ -114,6 +114,16 @@ val peer_down : t -> ?cause:int -> router_id -> unit
     processing-delay draw).  [cause] is the trace id of the session-down
     event (default [-1], untraced). *)
 
+val peer_up : t -> ?cause:int -> router_id -> unit
+(** The session to [peer] (re-)established after a {!peer_down}: forget
+    the Adj-RIB-Out towards it and enqueue a full-table re-sync (drop the
+    remaining state learned from the peer, then re-export every current
+    best route from scratch, MRAI-gated).  One work item, one
+    processing-delay draw — session restart costs processing time like
+    any other work.  No-op if the peer is unknown, already up, or this
+    router has failed.  [cause] is the trace id of the session-up event
+    (default [-1], untraced). *)
+
 val current_cause : t -> int
 (** Trace id of the event whose handling is currently executing — the
     cause any update sent right now should carry.  [-1] when untraced or

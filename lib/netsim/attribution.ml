@@ -80,7 +80,7 @@ let parts_of_event event ~gap ~floor =
     let mrai_hold = time -. Float.max ready floor in
     { zero with mrai_hold; propagation = gap -. mrai_hold }
   | Trace.Update_sent _ | Trace.Update_delivered _ | Trace.Session_down _
-  | Trace.Router_failed _ ->
+  | Trace.Session_up _ | Trace.Fault _ | Trace.Router_failed _ ->
     { zero with propagation = gap }
 
 (* Latest event by (time, id); [id] breaks ties towards the event
@@ -335,6 +335,8 @@ let kind_of_event = function
   | Trace.Mrai_flush _ -> "mrai_flush"
   | Trace.Router_failed _ -> "router_failed"
   | Trace.Session_down _ -> "session_down"
+  | Trace.Session_up _ -> "session_up"
+  | Trace.Fault _ -> "fault"
 
 let buf_per_dest buf t =
   Printf.bprintf buf

@@ -29,6 +29,24 @@ let config_default bgp =
     telemetry = None;
   }
 
+(* Mutable fault-layer state, absent unless {!enable_faults} was called.
+   Every delivery-path hook fast-paths on [None]: same delay float, no
+   extra RNG draws, no extra scheduled events — so a run with the
+   injector disabled is bit-identical to one built before this layer
+   existed (the goldens pin this).  Link keys are normalized (min, max)
+   pairs: faults are symmetric, like the links themselves. *)
+type fault_state = {
+  fault_rng : Rng.t;  (* gray-link loss draws, injector-owned stream *)
+  severed : (int * int, int) Hashtbl.t;
+      (* link -> sever count; counted so overlapping faults (a partition
+         and a session reset covering the same link) only restore the
+         link when every fault holding it down has lifted *)
+  link_factor : (int * int, float) Hashtbl.t;  (* delay multiplier; absent = 1.0 *)
+  link_loss : (int * int, float) Hashtbl.t;  (* drop probability; absent = 0.0 *)
+  skew : float array;  (* per-router receive-clock offset, seconds *)
+  mutable n_lost : int;  (* messages dropped in flight (severed/gray/dead dst) *)
+}
+
 type t = {
   topo : Topology.t;
   config : config;
@@ -43,7 +61,10 @@ type t = {
   mutable n_withdrawals : int;
   mutable n_session_downs : int;
   mutable last_activity : float;
+  mutable faults : fault_state option;
 }
+
+let link_key u v = if u <= v then (u, v) else (v, u)
 
 let compute_sessions topo =
   let acc = ref [] in
@@ -64,6 +85,8 @@ let compute_sessions topo =
     mesh members
   done;
   List.rev !acc
+
+let sessions_of_topology = compute_sessions
 
 let sum_metrics t =
   let zero =
@@ -121,9 +144,39 @@ let build ~sched ~rng ~config ?telemetry topo =
       n_withdrawals = 0;
       n_session_downs = 0;
       last_activity = 0.0;
+      faults = None;
     }
   in
   let net = ref net in
+  (* Per-message fault hooks.  With [faults = None] these reduce to the
+     historical behaviour exactly: [config.link_delay] and a dead-dst
+     check, no counter writes, no RNG draws. *)
+  let delivery_delay nref ~src ~dst =
+    match nref.faults with
+    | None -> nref.config.link_delay
+    | Some f ->
+      let factor =
+        match Hashtbl.find_opt f.link_factor (link_key src dst) with
+        | Some x -> x
+        | None -> 1.0
+      in
+      Float.max 1e-6 ((nref.config.link_delay *. factor) +. f.skew.(dst))
+  in
+  let deliverable nref ~src ~dst =
+    match nref.faults with
+    | None -> not nref.failed.(dst)
+    | Some f ->
+      let lost () =
+        f.n_lost <- f.n_lost + 1;
+        false
+      in
+      if nref.failed.(dst) then lost ()
+      else if Hashtbl.mem f.severed (link_key src dst) then lost ()
+      else (
+        match Hashtbl.find_opt f.link_loss (link_key src dst) with
+        | Some p when Rng.float f.fault_rng < p -> lost ()
+        | Some _ | None -> true)
+  in
   (* Causal-tracing hooks for the routers: record Processed / Mrai_flush
      events and hand back their ids so the router can stamp the exports
      they trigger.  Absent when tracing is off — the router then skips
@@ -161,11 +214,12 @@ let build ~sched ~rng ~config ?telemetry topo =
                 (match update with
                 | Types.Advertise _ -> nref.n_adverts <- nref.n_adverts + 1
                 | Types.Withdraw _ -> nref.n_withdrawals <- nref.n_withdrawals + 1);
+                let delay = delivery_delay nref ~src ~dst in
                 match nref.config.trace with
                 | None ->
                   ignore
-                    (Sched.schedule sched ~delay:nref.config.link_delay (fun () ->
-                         if not nref.failed.(dst) then
+                    (Sched.schedule sched ~delay (fun () ->
+                         if deliverable nref ~src ~dst then
                            Router.receive nref.routers.(dst) ~src update))
                 | Some trace ->
                   (* Both branches schedule exactly one delivery event, so
@@ -183,8 +237,8 @@ let build ~sched ~rng ~config ?telemetry topo =
                          cause = Router.current_cause nref.routers.(src);
                        });
                   ignore
-                    (Sched.schedule sched ~delay:nref.config.link_delay (fun () ->
-                         if not nref.failed.(dst) then begin
+                    (Sched.schedule sched ~delay (fun () ->
+                         if deliverable nref ~src ~dst then begin
                            let deliver_id = Trace.fresh_id trace in
                            Trace.record trace
                              (Trace.Update_delivered
@@ -362,6 +416,113 @@ let inject_link_failures t links =
       notify u v;
       notify v u)
     links
+
+(* --- Fault-injection hooks ---------------------------------------------- *)
+
+let enable_faults t ~rng =
+  match t.faults with
+  | Some _ -> invalid_arg "Network.enable_faults: already enabled"
+  | None ->
+    t.faults <-
+      Some
+        {
+          fault_rng = rng;
+          severed = Hashtbl.create 16;
+          link_factor = Hashtbl.create 16;
+          link_loss = Hashtbl.create 16;
+          skew = Array.make (Array.length t.routers) 0.0;
+          n_lost = 0;
+        }
+
+let faults_enabled t = Option.is_some t.faults
+let lost_messages t = match t.faults with None -> 0 | Some f -> f.n_lost
+
+let require_faults t =
+  match t.faults with
+  | Some f -> f
+  | None -> invalid_arg "Network: call enable_faults before injecting faults"
+
+let record_fault t ~label ~router ?(cause = Trace.no_cause) () =
+  match t.config.trace with
+  | None -> Trace.no_cause
+  | Some trace ->
+    let id = Trace.fresh_id trace in
+    Trace.record trace (Trace.Fault { id; time = Sched.now t.sched; label; router; cause });
+    id
+
+let set_link_factor t ~u ~v factor =
+  if factor <= 0.0 then invalid_arg "Network.set_link_factor: factor must be positive";
+  let f = require_faults t in
+  if factor = 1.0 then Hashtbl.remove f.link_factor (link_key u v)
+  else Hashtbl.replace f.link_factor (link_key u v) factor
+
+let set_link_loss t ~u ~v p =
+  if p < 0.0 || p >= 1.0 then
+    invalid_arg "Network.set_link_loss: probability must be in [0, 1)";
+  let f = require_faults t in
+  if p = 0.0 then Hashtbl.remove f.link_loss (link_key u v)
+  else Hashtbl.replace f.link_loss (link_key u v) p
+
+let set_clock_skew t ~router skew =
+  let f = require_faults t in
+  f.skew.(router) <- skew
+
+(* Session state transitions after the link layer notices, mirroring
+   [inject_link_failures]: the affected router learns of the change
+   [detection_delay] later and records the causal trace event then. *)
+let notify_session t ~dir ~cause a b =
+  if not t.failed.(a) then
+    ignore
+      (Sched.schedule t.sched ~delay:t.config.detection_delay (fun () ->
+           if not t.failed.(a) then
+             match dir with
+             | `Down ->
+               t.n_session_downs <- t.n_session_downs + 1;
+               (match t.config.trace with
+               | Some trace ->
+                 let down_id = Trace.fresh_id trace in
+                 Trace.record trace
+                   (Trace.Session_down
+                      { id = down_id; time = Sched.now t.sched; router = a; peer = b; cause });
+                 Router.peer_down t.routers.(a) ~cause:down_id b
+               | None -> Router.peer_down t.routers.(a) b)
+             | `Up -> (
+               match t.config.trace with
+               | Some trace ->
+                 let up_id = Trace.fresh_id trace in
+                 Trace.record trace
+                   (Trace.Session_up
+                      { id = up_id; time = Sched.now t.sched; router = a; peer = b; cause });
+                 Router.peer_up t.routers.(a) ~cause:up_id b
+               | None -> Router.peer_up t.routers.(a) b)))
+
+let sever_link ?(cause = Trace.no_cause) t ~u ~v =
+  let f = require_faults t in
+  let k = link_key u v in
+  let count = Option.value ~default:0 (Hashtbl.find_opt f.severed k) in
+  Hashtbl.replace f.severed k (count + 1);
+  (* In-flight messages start dropping immediately; the routers only
+     notice (and tear the session down) after the detection delay. *)
+  if count = 0 then begin
+    notify_session t ~dir:`Down ~cause u v;
+    notify_session t ~dir:`Down ~cause v u
+  end
+
+let restore_link ?(cause = Trace.no_cause) t ~u ~v =
+  let f = require_faults t in
+  let k = link_key u v in
+  match Hashtbl.find_opt f.severed k with
+  | None -> ()
+  | Some 1 ->
+    Hashtbl.remove f.severed k;
+    notify_session t ~dir:`Up ~cause u v;
+    notify_session t ~dir:`Up ~cause v u
+  | Some c -> Hashtbl.replace f.severed k (c - 1)
+
+let cross_sessions t ~side =
+  List.filter_map
+    (fun (u, v, _) -> if side.(u) <> side.(v) then Some (u, v) else None)
+    t.sessions
 
 let is_failed t r = t.failed.(r)
 let messages_sent t = t.n_adverts + t.n_withdrawals

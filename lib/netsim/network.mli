@@ -64,6 +64,12 @@ val num_routers : t -> int
 val sessions : t -> (int * int * Bgp_proto.Types.session_kind) list
 (** Each session once, [(u, v, kind)] with [u < v]. *)
 
+val sessions_of_topology :
+  Bgp_topology.Topology.t -> (int * int * Bgp_proto.Types.session_kind) list
+(** The sessions {!build} would create over this topology — lets
+    {!Fault_injector.generate} derive a link-aware schedule from the
+    seed before (and without) building the network. *)
+
 val start_all : t -> unit
 (** Originate every router's prefix at the current simulated time. *)
 
@@ -79,6 +85,66 @@ val inject_link_failures : t -> (int * int) list -> unit
     but they are the classic single-event experiments (Labovitz Tdown). *)
 
 val is_failed : t -> int -> bool
+
+(** {2 Fault-injection hooks}
+
+    The substrate {!Fault_injector} drives: a per-network mutable fault
+    state (severed links, gray-link loss probabilities, per-link delay
+    factors, per-router clock skew) consulted on every message's send and
+    delivery.  Disabled — and entirely cost- and draw-free, so existing
+    seeds replay bit-identically — until {!enable_faults} is called.
+    All link-keyed hooks are symmetric in [u]/[v]. *)
+
+val enable_faults : t -> rng:Bgp_engine.Rng.t -> unit
+(** Attach the fault layer.  [rng] is the injector-owned stream used for
+    gray-link loss draws — deliberately NOT split from the network's
+    build-time RNG, so enabling faults never shifts the routers'
+    streams.  @raise Invalid_argument if already enabled. *)
+
+val faults_enabled : t -> bool
+
+val sever_link : ?cause:int -> t -> u:int -> v:int -> unit
+(** Cut the link now: in-flight and future messages between [u] and [v]
+    drop immediately; both endpoints observe the session drop after
+    [detection_delay] (recorded as causal [Session_down] events, caused
+    by [cause]).  Sever counts nest: a link severed by two overlapping
+    faults needs two {!restore_link}s to come back. *)
+
+val restore_link : ?cause:int -> t -> u:int -> v:int -> unit
+(** Undo one {!sever_link}.  When the last sever lifts, both endpoints
+    re-establish after [detection_delay] ([Session_up] trace events,
+    {!Bgp_proto.Router.peer_up} full-table re-sync).  No-op if the link
+    is not severed. *)
+
+val set_link_factor : t -> u:int -> v:int -> float -> unit
+(** Multiply the link's one-way delay by [factor] (jitter); [1.0]
+    restores the default.  Applies to messages {e sent} from now on.
+    @raise Invalid_argument if [factor <= 0]. *)
+
+val set_link_loss : t -> u:int -> v:int -> float -> unit
+(** Gray link: independently drop each message on the link with
+    probability [p] (drawn from the injector RNG at delivery, in
+    deterministic scheduler order); [0.0] restores the default.
+    @raise Invalid_argument unless [0 <= p < 1]. *)
+
+val set_clock_skew : t -> router:int -> float -> unit
+(** Receive-path clock offset: every message delivered {e to} [router]
+    arrives [skew] seconds later (effective delay clamped positive). *)
+
+val record_fault : t -> label:string -> router:int -> ?cause:int -> unit -> int
+(** Record a [Fault] trace event and return its id ([Trace.no_cause]
+    when untraced) — the causal root that session transitions and heals
+    point back to. *)
+
+val cross_sessions : t -> side:bool array -> (int * int) list
+(** The sessions with exactly one endpoint in [side] — the cut-set a
+    partition along [side] must sever.  Each pair once, [(u, v)] with
+    [u < v]. *)
+
+val lost_messages : t -> int
+(** Messages dropped in flight by the fault layer (severed link, gray
+    loss, or dead destination while faults were enabled); [0] when
+    faults were never enabled. *)
 
 (** {2 Aggregate counters} *)
 

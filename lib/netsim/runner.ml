@@ -28,12 +28,13 @@ type scenario = {
   validate : bool;
   warmup : warmup_mode;
   policies : bool;
+  faults : Fault_injector.schedule option;
 }
 
 let scenario ?(net = Network.config_default Bgp_proto.Config.default)
     ?(failure = No_failure) ?(seed = 1) ?(sim_time_cap = 36000.0) ?(validate = false)
-    ?(warmup = Simulated) ?(policies = false) topo =
-  { topo; net; failure; seed; sim_time_cap; validate; warmup; policies }
+    ?(warmup = Simulated) ?(policies = false) ?faults topo =
+  { topo; net; failure; seed; sim_time_cap; validate; warmup; policies; faults }
 
 type result = {
   converged : bool;
@@ -47,6 +48,7 @@ type result = {
   max_queue : int;
   mrai_transitions : int;
   events : int;
+  lost_messages : int;
   survivors_connected : bool;
   issues : Validate.issue list;
   report : Telemetry.report option;
@@ -63,10 +65,14 @@ let make_failure topo = function
   | Routers l -> Failure.of_list topo l
   | Links _ | No_failure -> Failure.none topo
 
-let run s =
+let run_gen ?inspect s =
   let root = Rng.create s.seed in
   let rng_topo = Rng.split root in
   let rng_net = Rng.split root in
+  (* The fault stream is split only when a schedule is present: fault-free
+     runs draw exactly what they always did (the goldens pin this), and a
+     chaotic run is still a pure function of the seed. *)
+  let rng_faults = Option.map (fun _ -> Rng.split root) s.faults in
   let topo = make_topology rng_topo s.topo in
   (match Topology.validate topo with
   | Ok () -> ()
@@ -111,6 +117,11 @@ let run s =
          (match s.failure with
          | Links links -> Network.inject_link_failures net links
          | Fraction _ | Routers _ | No_failure -> ());
+         (match (s.faults, rng_faults) with
+         | Some schedule, Some rng ->
+           Network.enable_faults net ~rng;
+           Fault_injector.install net ~sched schedule
+         | _ -> ());
          match tele with
          | Some t ->
            Telemetry.set_fail_time t t_fail;
@@ -120,6 +131,9 @@ let run s =
            Network.start_probes net t
          | None -> ()));
   Sched.run ~until:(t_fail +. s.sim_time_cap) sched;
+  (* End-of-run hook: the chaos harness reads per-router queue/RIB state
+     here, before the network goes out of scope.  Pure reads only. *)
+  (match inspect with Some f -> f net | None -> ());
   let converged = warmup_converged && Sched.pending sched = 0 in
   let last = Network.last_activity net in
   let convergence_delay = Float.max 0.0 (last -. t_fail) in
@@ -163,11 +177,24 @@ let run s =
     max_queue = metrics.Bgp_proto.Router.max_queue;
     mrai_transitions = metrics.Bgp_proto.Router.mrai_transitions;
     events = Sched.events_executed sched;
+    lost_messages = Network.lost_messages net;
     survivors_connected = Failure.survivors_connected topo failure;
     issues;
     report = Option.map Telemetry.report tele;
     attribution;
   }
+
+(* [run] keeps the plain [scenario -> result] arrow: it is passed
+   first-class to [Pool.map], which an optional argument would break. *)
+let run s = run_gen s
+let run_with ~inspect s = run_gen ~inspect s
+
+let topology_of s =
+  let root = Rng.create s.seed in
+  let rng_topo = Rng.split root in
+  make_topology rng_topo s.topo
+
+let failure_of s topo = make_failure topo s.failure
 
 let trace_path ~base ~seed =
   let ext = Filename.extension base in

@@ -33,6 +33,10 @@ type scenario = {
   policies : bool;
       (** infer Gao-Rexford relationships for the generated topology and
           run with valley-free policies (forces a simulated warm-up) *)
+  faults : Fault_injector.schedule option;
+      (** chaos schedule installed at the failure instant (onsets are
+          offsets from [t_fail]); [None] leaves the fault layer disabled
+          and the run bit-identical to pre-chaos builds *)
 }
 
 val scenario :
@@ -43,10 +47,12 @@ val scenario :
   ?validate:bool ->
   ?warmup:warmup_mode ->
   ?policies:bool ->
+  ?faults:Fault_injector.schedule ->
   topo_spec ->
   scenario
 (** Defaults: paper BGP config ({!Bgp_proto.Config.default}), no failure,
-    seed 1, cap 36000 s, validation off, simulated warm-up, no policies. *)
+    seed 1, cap 36000 s, validation off, simulated warm-up, no policies,
+    no fault schedule. *)
 
 type result = {
   converged : bool;
@@ -62,6 +68,9 @@ type result = {
   max_queue : int;  (** deepest input queue seen at any router *)
   mrai_transitions : int;  (** dynamic-scheme level changes *)
   events : int;  (** simulator events executed (cost indicator) *)
+  lost_messages : int;
+      (** messages the fault layer dropped in flight; 0 without [faults].
+          Conservation: update sends = deliveries + [lost_messages] *)
   survivors_connected : bool;
   issues : Validate.issue list;  (** non-empty only when [validate] *)
   report : Telemetry.report option;
@@ -80,6 +89,20 @@ type result = {
 val run : scenario -> result
 (** A pure function of the scenario: same scenario, same result, on any
     number of domains. *)
+
+val run_with : inspect:(Network.t -> unit) -> scenario -> result
+(** {!run}, plus an end-of-run hook called on the live network after the
+    post-failure phase drains (or hits the cap) and before teardown —
+    the chaos harness reads per-router queue and RIB state there.
+    [inspect] must only read; the run is otherwise identical to {!run}. *)
+
+val topology_of : scenario -> Bgp_topology.Topology.t
+(** The topology {!run} will build for this scenario (same seed
+    derivation), so a fault schedule can be generated against it without
+    running anything. *)
+
+val failure_of : scenario -> Bgp_topology.Topology.t -> Bgp_topology.Failure.t
+(** The failure set {!run} will inject into this topology. *)
 
 val run_mean :
   scenario -> trials:int -> metric:(result -> float) -> Bgp_engine.Stats.summary

@@ -41,6 +41,8 @@ type event =
     }
   | Router_failed of { id : int; time : float; router : int }
   | Session_down of { id : int; time : float; router : int; peer : int; cause : int }
+  | Session_up of { id : int; time : float; router : int; peer : int; cause : int }
+  | Fault of { id : int; time : float; label : string; router : int; cause : int }
 
 let id_of = function
   | Update_sent { id; _ }
@@ -48,7 +50,9 @@ let id_of = function
   | Processed { id; _ }
   | Mrai_flush { id; _ }
   | Router_failed { id; _ }
-  | Session_down { id; _ } ->
+  | Session_down { id; _ }
+  | Session_up { id; _ }
+  | Fault { id; _ } ->
     id
 
 let time_of = function
@@ -57,7 +61,9 @@ let time_of = function
   | Processed { time; _ }
   | Mrai_flush { time; _ }
   | Router_failed { time; _ }
-  | Session_down { time; _ } ->
+  | Session_down { time; _ }
+  | Session_up { time; _ }
+  | Fault { time; _ } ->
     time
 
 let cause_of = function
@@ -65,7 +71,9 @@ let cause_of = function
   | Update_delivered { cause; _ }
   | Processed { cause; _ }
   | Mrai_flush { cause; _ }
-  | Session_down { cause; _ } ->
+  | Session_down { cause; _ }
+  | Session_up { cause; _ }
+  | Fault { cause; _ } ->
     cause
   | Router_failed _ -> no_cause
 
@@ -74,13 +82,14 @@ let router_of = function
   | Update_delivered { dst; _ } -> dst
   | Processed { router; _ } | Mrai_flush { router; _ } -> router
   | Router_failed { router; _ } | Session_down { router; _ } -> router
+  | Session_up { router; _ } | Fault { router; _ } -> router
 
 let dest_of = function
   | Update_sent { update; _ } | Update_delivered { update; _ } ->
     Some (Types.update_dest update)
   | Processed { dest; _ } -> if dest >= 0 then Some dest else None
   | Mrai_flush { dest; _ } -> Some dest
-  | Router_failed _ | Session_down _ -> None
+  | Router_failed _ | Session_down _ | Session_up _ | Fault _ -> None
 
 (* Latest event per destination, max (time, id) — the same tie-break the
    network-wide terminal uses, so a destination's terminal is the event
@@ -123,6 +132,12 @@ let pp_event ppf = function
   | Session_down { id; time; router; peer; cause } ->
     Fmt.pf ppf "%10.4f  #%-6d router %d: session to %d down (cause #%d)" time id router
       peer cause
+  | Session_up { id; time; router; peer; cause } ->
+    Fmt.pf ppf "%10.4f  #%-6d router %d: session to %d up (cause #%d)" time id router
+      peer cause
+  | Fault { id; time; label; router; cause } ->
+    Fmt.pf ppf "%10.4f  #%-6d FAULT %s (router %d, cause #%d)" time id label router
+      cause
 
 (* --- JSONL serialization -------------------------------------------------- *)
 
@@ -171,7 +186,13 @@ let event_to_json event =
     Printf.bprintf buf ",\"router\":%d" router
   | Session_down { id; time; router; peer; cause } ->
     head "session_down" id time;
-    Printf.bprintf buf ",\"router\":%d,\"peer\":%d,\"cause\":%d" router peer cause);
+    Printf.bprintf buf ",\"router\":%d,\"peer\":%d,\"cause\":%d" router peer cause
+  | Session_up { id; time; router; peer; cause } ->
+    head "session_up" id time;
+    Printf.bprintf buf ",\"router\":%d,\"peer\":%d,\"cause\":%d" router peer cause
+  | Fault { id; time; label; router; cause } ->
+    head "fault" id time;
+    Printf.bprintf buf ",\"label\":\"%s\",\"router\":%d,\"cause\":%d" label router cause);
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -401,6 +422,14 @@ let event_of_json ~paths line =
       Ok
         (Session_down
            { id; time; router = int "router"; peer = int "peer"; cause = int "cause" })
+    | "session_up" ->
+      Ok
+        (Session_up
+           { id; time; router = int "router"; peer = int "peer"; cause = int "cause" })
+    | "fault" ->
+      Ok
+        (Fault
+           { id; time; label = str "label"; router = int "router"; cause = int "cause" })
     | kind -> Error (Printf.sprintf "unknown event type %S" kind)
   with
   | Bad msg -> Error msg
@@ -555,25 +584,35 @@ let finalize t ~meta =
     t.next <- 0
 
 let read_file ~paths path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go meta acc =
-        match In_channel.input_line ic with
-        | None -> (meta, List.rev acc)
-        | Some line when is_meta_line line ->
-          (match meta_of_json line with
-          | Ok m -> go (Some m) acc
-          | Error msg ->
-            failwith (Printf.sprintf "Trace.read_file: bad meta line (%s): %s" msg line))
-        | Some line ->
-          (match event_of_json ~paths line with
-          | Ok event -> go meta (event :: acc)
-          | Error msg ->
-            failwith (Printf.sprintf "Trace.read_file: bad line (%s): %s" msg line))
-      in
-      go None [])
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (* A truncated write (crash mid-spill, partial copy) shows up as a
+           line that does not parse — typically the last one.  Report it as
+           a value so a merge over many per-trial files can skip or surface
+           the bad file instead of dying mid-pass. *)
+        let rec go lineno meta acc =
+          match In_channel.input_line ic with
+          | None ->
+            if lineno = 1 then Error (Printf.sprintf "%s: empty trace file" path)
+            else Ok (meta, List.rev acc)
+          | Some line when is_meta_line line ->
+            (match meta_of_json line with
+            | Ok m -> go (lineno + 1) (Some m) acc
+            | Error msg ->
+              Error (Printf.sprintf "%s:%d: bad meta line (%s)" path lineno msg))
+          | Some line ->
+            (match event_of_json ~paths line with
+            | Ok event -> go (lineno + 1) meta (event :: acc)
+            | Error msg ->
+              Error
+                (Printf.sprintf "%s:%d: truncated or malformed line (%s)" path lineno
+                   msg))
+        in
+        go 1 None [])
 
 let count t ~pred = List.length (List.filter pred (to_list t))
 
@@ -584,7 +623,7 @@ let sends_by_router t =
       | Update_sent { src; _ } ->
         Hashtbl.replace table src (1 + Option.value ~default:0 (Hashtbl.find_opt table src))
       | Update_delivered _ | Processed _ | Mrai_flush _ | Router_failed _
-      | Session_down _ ->
+      | Session_down _ | Session_up _ | Fault _ ->
         ())
     (to_list t);
   List.sort

@@ -65,8 +65,26 @@ type event =
       router : int;  (** noticed its session to [peer] drop *)
       peer : int;
       cause : int;
-          (** the [Router_failed] detected, or [no_cause] for a link
-              failure *)
+          (** the [Router_failed] detected, [no_cause] for a link
+              failure, or the [Fault] that severed the link *)
+    }
+  | Session_up of {
+      id : int;
+      time : float;
+      router : int;  (** re-established its session to [peer] *)
+      peer : int;
+      cause : int;  (** the [Fault] (heal/recover) that restored the link *)
+    }
+  | Fault of {
+      id : int;
+      time : float;
+      label : string;
+          (** fault-taxonomy tag from {!Fault_injector} ([partition],
+              [heal], [session_reset], ...) *)
+      router : int;  (** a representative router of the faulted component *)
+      cause : int;
+          (** [no_cause] for a scheduled fault onset; the onset's id for
+              its heal/recover counterpart *)
     }
 
 val id_of : event -> int
@@ -164,10 +182,13 @@ val finalize : t -> meta:run_meta -> unit
     @raise Invalid_argument if the trace has no spill file. *)
 
 val read_file :
-  paths:Bgp_proto.Path.table -> string -> run_meta option * event list
+  paths:Bgp_proto.Path.table ->
+  string ->
+  (run_meta option * event list, string) result
 (** Read a trace file back: events in file order plus the meta line if
     present ([None] for a bare spill file that was never finalized).
-    @raise Failure on a malformed line. *)
+    [Error] — never an exception — for an unreadable, empty, truncated
+    or otherwise malformed file; the message names the file and line. *)
 
 (** {2 JSONL serialization} *)
 

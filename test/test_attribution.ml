@@ -475,12 +475,13 @@ let check_merge_and_jobs () =
           (fun (_, trace) ->
             let file = Option.get (Trace.spill_path trace) in
             match Trace.read_file ~paths file with
-            | Some meta, events ->
+            | Ok (Some meta, events) ->
               {
                 Attribution.trial_seed = meta.Trace.seed;
                 attr = Attribution.analyze ~t_fail:meta.Trace.t_fail events;
               }
-            | None, _ -> Alcotest.failf "finalized file %s lost its meta line" file)
+            | Ok (None, _) -> Alcotest.failf "finalized file %s lost its meta line" file
+            | Error m -> Alcotest.failf "read_file failed: %s" m)
           par
       in
       (* file-based analyses equal the in-memory union, trial by trial *)
@@ -563,6 +564,87 @@ let check_damping_causality () =
   checkb "a suppressed update was released with its cause intact" true
     (reuse_gaps <> [])
 
+(* Attribution under chaos (pinned seeds): injected faults — partitions
+   that heal, flapping sessions — become causal roots of their own, the
+   component decomposition still telescopes exactly to the measured
+   delay, and no post-failure chain is orphaned. *)
+module Fi = Bgp_netsim.Fault_injector
+module Failure = Bgp_topology.Failure
+
+let live_sessions topo failure =
+  List.filter_map
+    (fun (u, v, _) ->
+      if Failure.is_failed failure u || Failure.is_failed failure v then None
+      else Some (if u <= v then (u, v) else (v, u)))
+    (Network.sessions_of_topology topo)
+
+let partition_schedule _topo failure =
+  let side = List.filteri (fun i _ -> i < 3) (Failure.survivors failure) in
+  [ { Fi.at = 0.3; fault = Fi.Partition { side; heal_after = 1.5 } } ]
+
+let reset_schedule topo failure =
+  let live = live_sessions topo failure in
+  let u, v = List.nth live 0 in
+  let u2, v2 = List.nth live (7 mod List.length live) in
+  [
+    { Fi.at = 0.2; fault = Fi.Session_reset { u; v; recover_after = 0.8 } };
+    { Fi.at = 0.6; fault = Fi.Session_reset { u = u2; v = v2; recover_after = 1.0 } };
+  ]
+
+let check_chaos_attr name mk_schedule () =
+  List.iter
+    (fun seed ->
+      let scenario = { flat_scenario with Runner.seed } in
+      let topo = Runner.topology_of scenario in
+      let failure = Runner.failure_of scenario topo in
+      let schedule = mk_schedule topo failure in
+      (match Fi.validate ~n:(Topology.num_routers topo) ~horizon:6.0 schedule with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s seed %d: bad pinned schedule: %s" name seed m);
+      let trace = Trace.create ~capacity:500_000 () in
+      let scenario =
+        {
+          scenario with
+          Runner.faults = Some schedule;
+          net = { scenario.Runner.net with Network.trace = Some trace };
+        }
+      in
+      let result = Runner.run scenario in
+      let ctx field = Printf.sprintf "%s seed %d: %s" name seed field in
+      checkb (ctx "converged") true result.Runner.converged;
+      let attr = get_attr (ctx "attribution") result in
+      checkb (ctx "complete under chaos") true attr.Attribution.complete;
+      exactf (ctx "attr delay = result delay") result.Runner.convergence_delay
+        attr.Attribution.convergence_delay;
+      nearf (ctx "components sum to delay under chaos")
+        result.Runner.convergence_delay
+        (Attribution.total attr.Attribution.totals);
+      let events = Trace.events trace in
+      checkb (ctx "fault roots recorded") true
+        (List.exists (function Trace.Fault _ -> true | _ -> false) events);
+      (* every post-failure causal root is an injection: the original
+         failure or a chaos fault — chaos adds roots, never orphans *)
+      let t_fail = attr.Attribution.t_fail in
+      List.iter
+        (fun e ->
+          if Trace.time_of e >= t_fail && Trace.cause_of e = Trace.no_cause then
+            match e with
+            | Trace.Router_failed _ | Trace.Session_down _ | Trace.Fault _ -> ()
+            | _ ->
+              Alcotest.failf "%s seed %d: orphaned causal root: %s" name seed
+                (Trace.event_to_json e))
+        events;
+      (* per-destination tails telescope too *)
+      List.iter
+        (fun (d : Attribution.dest_attr) ->
+          if d.Attribution.dest_complete then
+            nearf
+              (ctx (Printf.sprintf "dest %d tail telescopes" d.Attribution.dest))
+              d.Attribution.tail
+              (Attribution.total d.Attribution.dest_parts))
+        attr.Attribution.per_dest)
+    [ 3; 4; 5 ]
+
 let () =
   Alcotest.run "attribution"
     [
@@ -584,6 +666,13 @@ let () =
             check_merge_and_jobs;
           Alcotest.test_case "damping reuse keeps its cause" `Quick
             check_damping_causality;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "partition-heal keeps exact telescoping" `Quick
+            (check_chaos_attr "partition" partition_schedule);
+          Alcotest.test_case "session flaps keep exact telescoping" `Quick
+            (check_chaos_attr "reset" reset_schedule);
         ] );
       ( "serialization",
         [
