@@ -167,16 +167,21 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
     (* Trials are independent (one seed, RNG and scheduler each), so they
        fan out over a domain pool; results are identical to the
        sequential order for any job count. *)
-    let results, traces =
+    let results, pairs =
       if want_trace then begin
         let pairs = Runner.traced ?spill_base:trace_file scenario ~trials in
         let results = Bgp_engine.Pool.map ~jobs Runner.run (List.map fst pairs) in
-        (results, List.map (fun (_, t) -> Some t) pairs)
+        (results, Some pairs)
       end
       else
         ( Bgp_engine.Pool.map ~jobs Runner.run
             (List.init trials (fun i -> { scenario with Runner.seed = seed + i })),
-          List.init trials (fun _ -> None) )
+          None )
+    in
+    let traces =
+      match pairs with
+      | Some pairs -> List.map (fun (_, t) -> Some t) pairs
+      | None -> List.init trials (fun _ -> None)
     in
     List.iteri
       (fun i r ->
@@ -219,24 +224,23 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
           if i < 10 then Fmt.pr "  router %3d: %d updates@." router count)
         (Trace.sends_by_router trace)
     | _ -> ());
-    (* --trace-file: finalize every trial's seed-suffixed file into a
-       complete, self-describing record (events + one meta line) that
-       `bgpsim analyze --merge` can combine. *)
-    (match trace_file with
+    (* Archive the batch: finalize every trial's seed-suffixed file into a
+       complete, self-describing record (events + one meta line) and drop
+       its attribution sidecar next to it, so `bgpsim analyze --merge`
+       combines the directory in O(trials) and `bgpsim serve` can watch it
+       live.  Without --trace-file there are no spill files and this just
+       closes the in-memory traces. *)
+    (match pairs with
     | None -> ()
-    | Some base ->
-      List.iteri
-        (fun i (r : Runner.result) ->
-          match (List.nth traces i, r.Runner.attribution) with
-          | Some trace, Some attr ->
-            let n_events = Trace.spilled trace + Trace.length trace in
-            Trace.finalize trace
-              ~meta:{ Trace.seed = seed + i; t_fail = attr.Attribution.t_fail };
-            if not quiet then
-              Fmt.pr "wrote complete trace (%d events) to %s@." n_events
-                (Runner.trace_path ~base ~seed:(seed + i))
-          | _ -> ())
-        results);
+    | Some pairs ->
+      let sidecars = Runner.finalize_traced pairs results in
+      match (trace_file, quiet) with
+      | Some base, false ->
+        Fmt.pr "wrote %d finalized trace(s) to %s and %d sidecar(s)@."
+          (List.length (List.filter (fun (_, t) -> Trace.spill_path t <> None) pairs))
+          (Filename.dirname (Runner.trace_path ~base ~seed))
+          (List.length sidecars)
+      | _ -> ());
     (match telemetry_dir with
     | None -> ()
     | Some dir ->
@@ -261,66 +265,47 @@ let write_file ?(quiet = true) path content =
   close_out oc;
   if not quiet then Fmt.pr "wrote %s@." path
 
-(* --merge DIR: no simulation — read every finalized trace file in DIR,
-   re-run the attribution per trial, and combine. *)
-let merge_main dir json_path flame_path top quiet =
-  let files =
-    match Sys.readdir dir with
-    | entries ->
-      Array.sort String.compare entries;
-      Array.to_list entries
-      |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
-      |> List.map (Filename.concat dir)
-    | exception Sys_error m ->
-      Fmt.epr "error: %s@." m;
-      []
-  in
-  let paths = Bgp_proto.Path.create_table () in
-  let trials =
-    List.filter_map
-      (fun file ->
-        match Trace.read_file ~paths file with
-        | Ok (Some meta, events) ->
-          Some
-            {
-              Attribution.trial_seed = meta.Trace.seed;
-              attr = Attribution.analyze ~t_fail:meta.Trace.t_fail events;
-            }
-        | Ok (None, _) ->
-          Fmt.epr "warning: %s has no meta line (not a finalized trace); skipped@." file;
-          None
-        | Error m ->
-          Fmt.epr "warning: %s; skipped@." m;
-          None)
-      files
-  in
-  match trials with
-  | [] ->
-    Fmt.epr "error: no finalized trace files (*.jsonl) under %s@." dir;
+module Attr_merge = Bgp_netsim.Attr_merge
+
+(* --merge DIR: no simulation — fold every trial under DIR into the
+   streaming accumulator.  Trials with a sidecar are folded straight from
+   it in O(1); only trials without one fall back to re-parsing their
+   finalized trace JSONL (fanned across the pool). *)
+let merge_main dir json_path flame_path top jobs reparse quiet =
+  match Attr_merge.plan ~reparse dir with
+  | exception Sys_error m ->
+    Fmt.epr "error: %s@." m;
     1
-  | _ ->
-    let merged = Attribution.merge trials in
-    if not quiet then Fmt.pr "%a" (Attribution.pp_merged ~top) merged;
-    (match json_path with
-    | None -> ()
-    | Some "-" -> print_endline (Attribution.merged_to_json ~top merged)
-    | Some path -> write_file ~quiet path (Attribution.merged_to_json ~top merged ^ "\n"));
-    Option.iter
-      (fun path ->
-        let folded =
-          String.concat ""
-            (List.map
-               (fun tr -> Attribution.to_flamegraph tr.Attribution.attr)
-               trials)
-        in
-        write_file ~quiet path folded)
-      flame_path;
-    0
+  | [] ->
+    Fmt.epr "error: no finalized traces (*.jsonl) or sidecars (*.attr.json) under %s@."
+      dir;
+    1
+  | items ->
+    let acc = Attr_merge.create () in
+    let jobs = if jobs = 0 then None else Some jobs in
+    Attr_merge.load ?jobs acc items;
+    if Attr_merge.trials acc = 0 then begin
+      Fmt.epr "error: every input under %s failed to load%a@." dir
+        (fun ppf -> function None -> () | Some e -> Fmt.pf ppf " (first: %s)" e)
+        (Attr_merge.first_error acc);
+      1
+    end
+    else begin
+      if not quiet then Fmt.pr "%a" (Attr_merge.pp ~top) acc;
+      (match json_path with
+      | None -> ()
+      | Some "-" -> print_endline (Attr_merge.to_json ~top acc)
+      | Some path -> write_file ~quiet path (Attr_merge.to_json ~top acc ^ "\n"));
+      Option.iter
+        (fun path -> write_file ~quiet path (Attr_merge.to_flamegraph acc))
+        flame_path;
+      0
+    end
 
 let analyze_main opts capacity spill json_path top max_hops per_dest flame_path merge_dir
-    quiet =
+    jobs reparse quiet =
   match merge_dir with
-  | Some dir -> merge_main dir json_path flame_path top quiet
+  | Some dir -> merge_main dir json_path flame_path top jobs reparse quiet
   | None -> (
     match build_scenario opts with
     | Error m ->
@@ -376,7 +361,7 @@ let analyze_main opts capacity spill json_path top max_hops per_dest flame_path 
 module Chaos = Bgp_experiments.Chaos
 
 let chaos_main opts trials jobs max_events horizon replay_every capacity out
-    seed_violation quiet =
+    seed_violation sidecar_dir quiet =
   if jobs < 0 then begin
     Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
     exit 1
@@ -388,7 +373,7 @@ let chaos_main opts trials jobs max_events horizon replay_every capacity out
   | Ok scenario -> (
     match
       Chaos.config ~trials ~max_events ~horizon ~replay_every ~capacity ~seed_violation
-        scenario
+        ?sidecar_dir scenario
     with
     | exception Invalid_argument m ->
       Fmt.epr "error: %s@." m;
@@ -401,6 +386,14 @@ let chaos_main opts trials jobs max_events horizon replay_every capacity out
       | None -> ()
       | Some "-" -> print_endline (Chaos.artifact_to_json cfg campaign)
       | Some path -> write_file ~quiet path (Chaos.artifact_to_json cfg campaign ^ "\n"));
+      (match sidecar_dir with
+      | Some dir when not quiet ->
+        Fmt.pr "wrote %d sidecar(s) to %s@."
+          (List.length
+             (List.filter Attribution.is_sidecar_path
+                (try Array.to_list (Sys.readdir dir) with Sys_error _ -> [])))
+          dir
+      | _ -> ());
       if seed_violation then (
         (* Self-test mode: success means the harness FOUND the seeded
            violation, minimized it to a tiny schedule and (with --out)
@@ -607,11 +600,22 @@ let flame_path =
 let merge_dir =
   Arg.(value & opt (some string) None
        & info [ "merge" ] ~docv:"DIR"
-           ~doc:"Skip simulation: read every finalized per-trial trace file \
-                 (*.jsonl, from 'bgpsim --trace-file') under DIR, re-derive each \
-                 trial's attribution, and report the merged sweep — pooled tail \
-                 percentiles and the worst straggler destinations across trials.  \
-                 Scenario options are ignored.")
+           ~doc:"Skip simulation: fold every trial under DIR into the merged sweep \
+                 report — pooled tail percentiles and the worst straggler \
+                 destinations across trials.  Trials with an attribution sidecar \
+                 (*.attr.json, written by 'bgpsim --trace-file' and 'bgpsim chaos \
+                 --sidecar-dir') are folded straight from it without touching the \
+                 raw trace; only sidecar-less trials re-parse their *.jsonl.  \
+                 Unreadable inputs are counted and the first error reported, never \
+                 silently dropped.  Scenario options are ignored.")
+
+let merge_reparse =
+  Arg.(value & flag
+       & info [ "reparse" ]
+           ~doc:"With --merge: ignore sidecars and re-derive every trial's \
+                 attribution from its raw trace JSONL (the O(events) baseline the \
+                 sidecars exist to avoid — useful for cross-checking and \
+                 benchmarks).")
 
 let analyze_cmd =
   let doc = "attribute one run's convergence delay to its causes" in
@@ -635,7 +639,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc ~man)
     Term.(
       const analyze_main $ opts_term $ capacity $ spill $ json_path $ top $ max_hops
-      $ per_dest_attr $ flame_path $ merge_dir $ quiet)
+      $ per_dest_attr $ flame_path $ merge_dir $ jobs $ merge_reparse $ quiet)
 
 let chaos_trials =
   Arg.(value & opt int 100
@@ -672,6 +676,15 @@ let seed_violation =
                  minimization path is exercised; exit 0 only if the harness finds \
                  one and minimizes it to at most 3 events.")
 
+let chaos_sidecar_dir =
+  Arg.(value & opt (some string) None
+       & info [ "sidecar-dir" ] ~docv:"DIR"
+           ~doc:"Write every trial's attribution sidecar (bgp-attr-sidecar/1, \
+                 including the invariant battery's violated-invariant names) into \
+                 DIR as it finishes, atomically — so the campaign can be watched \
+                 live with 'bgpsim serve --dir DIR' and merged afterwards with \
+                 'bgpsim analyze --merge DIR', with no trace files involved.")
+
 let chaos_cmd =
   let doc = "run a deterministic chaos campaign against the simulator" in
   let man =
@@ -696,10 +709,89 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc ~man)
     Term.(
       const chaos_main $ opts_term $ chaos_trials $ jobs $ max_events $ horizon
-      $ replay_every $ capacity $ chaos_out $ seed_violation $ quiet)
+      $ replay_every $ capacity $ chaos_out $ seed_violation $ chaos_sidecar_dir
+      $ quiet)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+module Serve = Bgp_experiments.Serve
+
+let serve_main dir socket query max_requests scan_interval quiet =
+  match query with
+  | Some q -> (
+    match Serve.request ~socket q with
+    | resp ->
+      print_string resp;
+      if String.length resp = 0 || resp.[String.length resp - 1] <> '\n' then
+        print_newline ();
+      0
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "error: cannot reach server at %s: %s@." socket (Unix.error_message e);
+      1)
+  | None -> (
+    if not quiet then Fmt.pr "serving %s at %s (status | report | flame | shutdown)@." dir socket;
+    match Serve.run ?max_requests ~scan_interval ~socket ~dir () with
+    | () -> 0
+    | exception Unix.Unix_error (e, fn, _) ->
+      Fmt.epr "error: %s: %s@." fn (Unix.error_message e);
+      1)
+
+let serve_dir =
+  Arg.(value & opt string "."
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Campaign directory to watch for attribution sidecars (*.attr.json).")
+
+let serve_socket =
+  Arg.(value & opt string "bgpsim-serve.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen (or query) on.")
+
+let serve_query =
+  Arg.(value & opt (some string) None
+       & info [ "query" ] ~docv:"REQUEST"
+           ~doc:"Client mode: send one request (status | report | flame | shutdown) to \
+                 a running server and print the response.")
+
+let serve_max_requests =
+  Arg.(value & opt (some int) None
+       & info [ "max-requests" ] ~docv:"N"
+           ~doc:"Stop after answering N requests (CI smoke tests; default: serve until \
+                 a shutdown request).")
+
+let serve_scan_interval =
+  Arg.(value & opt float 0.5
+       & info [ "scan-interval" ] ~docv:"SECONDS"
+           ~doc:"Rescan the directory at least this often while idle (every request \
+                 also triggers a rescan first).")
+
+let serve_cmd =
+  let doc = "watch a campaign directory and serve live merged attribution" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Watches DIR for per-trial attribution sidecars (*.attr.json, written \
+         atomically by 'bgpsim --trace-file', sweeps, and 'bgpsim chaos \
+         --sidecar-dir') and folds each new one into a streaming merge as it \
+         appears — running component totals, a log-scale tail-delay histogram for \
+         incremental p50/p95/p99, the chaos invariant-battery tally, and a bounded \
+         worst-straggler board.  Raw trace JSONL is never read, so a thousand-trial \
+         campaign costs the server O(trials) work total.";
+      `P
+        "Requests are one line per connection on a Unix-domain socket: 'status' \
+         (bgp-serve-status/1 JSON: trial counts, tail percentiles, throughput, \
+         telemetry counters), 'report' (the full bgp-attr-merge/1 document), \
+         'flame' (merged collapsed stacks) and 'shutdown'.  Query a running server \
+         with --query, e.g. 'bgpsim serve --socket S --query status'.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve_main $ serve_dir $ serve_socket $ serve_query $ serve_max_requests
+      $ serve_scan_interval $ quiet)
 
 let cmd =
   let doc = "simulate BGP re-convergence after a large-scale failure" in
-  Cmd.group ~default:run_term (Cmd.info "bgpsim" ~doc) [ analyze_cmd; chaos_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "bgpsim" ~doc) [ analyze_cmd; chaos_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -45,12 +45,16 @@ type config = {
   replay_every : int;  (* rerun every k-th trial and demand bit-identity; 0 = never *)
   capacity : int;  (* trace ring capacity per trial *)
   seed_violation : bool;  (* minimizer self-test: gray_link counts as a violation *)
+  sidecar_dir : string option;
+      (* per-trial bgp-attr-sidecar/1 emission: one sidecar (attribution +
+         invariant verdicts) per trial, written atomically as the trial
+         finishes, so `bgpsim serve` can watch the campaign mid-run *)
 }
 
 let config ?(trials = 100) ?(max_events = 5) ?(horizon = 8.0) ?(replay_every = 10)
-    ?(capacity = 500_000) ?(seed_violation = false) base =
+    ?(capacity = 500_000) ?(seed_violation = false) ?sidecar_dir base =
   if trials <= 0 then invalid_arg "Chaos.config: trials must be positive";
-  { base; trials; max_events; horizon; replay_every; capacity; seed_violation }
+  { base; trials; max_events; horizon; replay_every; capacity; seed_violation; sidecar_dir }
 
 (* --- Per-trial schedule derivation --------------------------------------- *)
 
@@ -248,6 +252,20 @@ let run_trial cfg i =
     end
     else violations
   in
+  (* Sidecar emission: the trial's attribution plus its battery verdict,
+     written atomically so a live `bgpsim serve` watcher folds it the
+     moment it lands.  Chaos trials spill no trace file — the sidecar is
+     the only (and sufficient) per-trial artifact for merging. *)
+  (match (cfg.sidecar_dir, probe.result.Runner.attribution) with
+  | Some dir, Some attr ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let names =
+      List.sort_uniq String.compare (List.map (fun v -> v.invariant) violations)
+    in
+    Attribution.write_sidecar
+      (Filename.concat dir (Printf.sprintf "chaos.seed%d.attr.json" trial_seed))
+      (Attribution.sidecar_of ~violations:names ~seed:trial_seed attr)
+  | _ -> ());
   {
     trial = i;
     trial_seed;

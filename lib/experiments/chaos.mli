@@ -68,6 +68,13 @@ type config = {
   replay_every : int;
   capacity : int;
   seed_violation : bool;
+  sidecar_dir : string option;
+      (** when set, every trial writes its
+          {!Bgp_netsim.Attribution.sidecar} (attribution + the battery's
+          violated-invariant names) into this directory as
+          [chaos.seedN.attr.json], atomically as it finishes — the hook
+          that makes a running campaign observable by [bgpsim serve] and
+          mergeable by [analyze --merge] without any trace files *)
 }
 
 val config :
@@ -77,11 +84,13 @@ val config :
   ?replay_every:int ->
   ?capacity:int ->
   ?seed_violation:bool ->
+  ?sidecar_dir:string ->
   Bgp_netsim.Runner.scenario ->
   config
 (** Defaults: 100 trials, 5 base events, 8 s horizon, replay every 10th
-    trial, 500k-event trace rings, no seeded violation.  The base
-    scenario's [faults] and [net.trace] are overridden per trial.
+    trial, 500k-event trace rings, no seeded violation, no sidecars.
+    The base scenario's [faults] and [net.trace] are overridden per
+    trial.
     @raise Invalid_argument if [trials <= 0]. *)
 
 val schedule_for : config -> Bgp_netsim.Runner.scenario -> Bgp_netsim.Fault_injector.schedule

@@ -1,0 +1,185 @@
+module A = Bgp_netsim.Attribution
+module M = Bgp_netsim.Attr_merge
+module J = Bgp_netsim.Json_lite
+
+type t = {
+  dir : string;
+  acc : M.t;
+  seen : (string, unit) Hashtbl.t;  (* sidecar file names already folded *)
+  started : float;  (* wall clock at create, for uptime / trials-per-sec *)
+  mutable scans : int;
+  mutable folded : int;
+  mutable requests : int;
+  mutable q_status : int;
+  mutable q_report : int;
+  mutable q_flame : int;
+}
+
+let create ?worst_capacity ~dir () =
+  {
+    dir;
+    acc = M.create ?worst_capacity ();
+    seen = Hashtbl.create 256;
+    started = Unix.gettimeofday ();
+    scans = 0;
+    folded = 0;
+    requests = 0;
+    q_status = 0;
+    q_report = 0;
+    q_flame = 0;
+  }
+
+(* One incremental pass: fold every sidecar we have not seen yet.  Only
+   [*.attr.json] files count — trace JSONL is deliberately invisible to
+   the service, and sidecars are renamed into place atomically, so a
+   name either is not there yet or is a complete document.  A file that
+   fails to parse is recorded as skipped and marked seen, so a corrupt
+   drop is reported once, not once per scan. *)
+let scan t =
+  t.scans <- t.scans + 1;
+  let names = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.sort String.compare names;
+  let n = ref 0 in
+  Array.iter
+    (fun name ->
+      if A.is_sidecar_path name && not (Hashtbl.mem t.seen name) then begin
+        Hashtbl.add t.seen name ();
+        match A.read_sidecar (Filename.concat t.dir name) with
+        | Ok sc ->
+          M.add_sidecar t.acc sc;
+          incr n
+        | Error e -> M.skip t.acc e
+      end)
+    names;
+  t.folded <- t.folded + !n;
+  !n
+
+let trials t = M.trials t.acc
+
+let status_json t =
+  let r = M.report t.acc in
+  let uptime = Unix.gettimeofday () -. t.started in
+  let rate = if uptime > 0. then float_of_int r.M.r_trials /. uptime else 0. in
+  let b = Buffer.create 512 in
+  let f = J.float_lit in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"bgp-serve-status/1\",\"dir\":%s,\"uptime\":%s,\"trials\":%d,\"dests\":%d"
+       (J.escape t.dir) (f uptime) r.M.r_trials r.M.r_dests);
+  Buffer.add_string b
+    (Printf.sprintf ",\"skipped\":%d,\"first_error\":%s" r.M.r_skipped
+       (match r.M.r_first_error with None -> "null" | Some e -> J.escape e));
+  Buffer.add_string b
+    (Printf.sprintf ",\"mean_delay\":%s,\"tail_p50\":%s,\"tail_p95\":%s,\"tail_p99\":%s"
+       (f r.M.r_mean_delay) (f r.M.r_p50) (f r.M.r_p95) (f r.M.r_p99));
+  Buffer.add_string b
+    (Printf.sprintf ",\"battery\":{\"pass\":%d,\"fail\":%d,\"violations\":{%s}}" r.M.r_pass
+       r.M.r_fail
+       (String.concat ","
+          (List.map (fun (n, c) -> Printf.sprintf "%s:%d" (J.escape n) c) r.M.r_violations)));
+  Buffer.add_string b (Printf.sprintf ",\"trials_per_sec\":%s" (f rate));
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"counters\":{\"scans\":%d,\"folded\":%d,\"requests\":%d,\"status\":%d,\"report\":%d,\"flame\":%d}}"
+       t.scans t.folded t.requests t.q_status t.q_report t.q_flame);
+  Buffer.contents b
+
+let handle t line =
+  t.requests <- t.requests + 1;
+  match String.trim line with
+  | "status" ->
+    t.q_status <- t.q_status + 1;
+    status_json t
+  | "report" ->
+    t.q_report <- t.q_report + 1;
+    M.to_json t.acc
+  | "flame" ->
+    t.q_flame <- t.q_flame + 1;
+    M.to_flamegraph t.acc
+  | "shutdown" -> "{\"schema\":\"bgp-serve-status/1\",\"shutdown\":true}"
+  | other -> Printf.sprintf "{\"error\":%s}" (J.escape ("unknown request: " ^ other))
+
+(* Read one request line from a connection (client half-closes after
+   sending, so EOF also terminates the request). *)
+let read_request fd =
+  let buf = Buffer.create 64 in
+  let chunk = Bytes.create 256 in
+  let rec go () =
+    if Buffer.length buf > 4096 then ()
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        if not (String.contains (Buffer.contents buf) '\n') then go ()
+  in
+  go ();
+  match String.index_opt (Buffer.contents buf) '\n' with
+  | Some i -> String.sub (Buffer.contents buf) 0 i
+  | None -> Buffer.contents buf
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      let n = Unix.write fd b off (Bytes.length b - off) in
+      go (off + n)
+  in
+  go 0
+
+let run ?worst_capacity ?max_requests ?(scan_interval = 0.5) ~socket ~dir () =
+  let t = create ?worst_capacity ~dir () in
+  ignore (scan t);
+  if Sys.file_exists socket then Sys.remove socket;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close srv with Unix.Unix_error _ -> ());
+    try Sys.remove socket with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 16;
+  let served = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    (* Wake up at least every scan_interval so the fold keeps pace with
+       the campaign even when nobody is asking. *)
+    (match Unix.select [ srv ] [] [] scan_interval with
+    | [], _, _ -> ignore (scan t)
+    | _ :: _, _, _ ->
+      let conn, _ = Unix.accept srv in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+        (fun () ->
+          let req = read_request conn in
+          (* Fold anything new before answering, so every response
+             reflects the directory as of this request. *)
+          ignore (scan t);
+          write_all conn (handle t req);
+          incr served;
+          if String.trim req = "shutdown" then stop := true)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    match max_requests with
+    | Some m when !served >= m -> stop := true
+    | _ -> ()
+  done
+
+let request ~socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      write_all fd (line ^ "\n");
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec go () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      in
+      go ();
+      Buffer.contents buf)

@@ -77,6 +77,16 @@ let traced_results ?jobs ?capacity ?spill_base scenario ~trials =
   let results = Pool.map ?jobs (fun (s, _) -> Runner.run s) pairs in
   List.map2 (fun r (_, trace) -> (r, trace)) results pairs
 
+(* The campaign-producing variant: run traced, then finalize every trace
+   file and drop the bgp-attr-sidecar/1 sidecar next to it, so the sweep
+   directory is immediately mergeable (O(trials)) and watchable
+   (`bgpsim serve`) — no open traces escape. *)
+let traced_archived ?jobs ?capacity ~spill_base scenario ~trials =
+  let pairs = Runner.traced ?capacity ~spill_base scenario ~trials in
+  let results = Pool.map ?jobs (fun (s, _) -> Runner.run s) pairs in
+  let sidecars = Runner.finalize_traced pairs results in
+  (results, sidecars)
+
 let prefetch ?jobs specs =
   (* Claim every uncached key in one pass; a key listed twice is only
      claimed once (the second occurrence sees the Computing marker). *)

@@ -35,6 +35,19 @@ val traced_results :
     would not reproduce.  Traces are returned open; callers
     {!Bgp_netsim.Trace.finalize} (or [close]) them. *)
 
+val traced_archived :
+  ?jobs:int ->
+  ?capacity:int ->
+  spill_base:string ->
+  Bgp_netsim.Runner.scenario ->
+  trials:int ->
+  Bgp_netsim.Runner.result list * string list
+(** {!traced_results}, then {!Bgp_netsim.Runner.finalize_traced}: every
+    trial's trace file is finalized and its attribution sidecar written
+    next to it, so the directory can be merged in O(trials)
+    ([analyze --merge]) or watched live ([bgpsim serve]) immediately.
+    Returns the results and the sidecar paths written. *)
+
 val prefetch : ?jobs:int -> (Bgp_netsim.Runner.scenario * int) list -> unit
 (** [prefetch specs] fills the cache for every uncached
     [(scenario, trials)] pair in [specs], fanning {e all} their trial

@@ -396,6 +396,162 @@ let to_json ?(top = 10) t =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+(* --- Per-trial sidecars ---------------------------------------------------- *)
+
+module J = Json_lite
+
+type sidecar_dest = {
+  sd_dest : int;
+  sd_tail : float;
+  sd_complete : bool;
+  sd_parts : components;
+}
+
+type sidecar = {
+  sc_seed : int;
+  sc_t_fail : float;
+  sc_delay : float;
+  sc_complete : bool;
+  sc_events : int;
+  sc_totals : components;
+  sc_aggregate : components;
+  sc_by_router : (int * components) list;
+  sc_dests : sidecar_dest list;
+  sc_violations : string list;
+}
+
+let sidecar_of ?(violations = []) ~seed t =
+  {
+    sc_seed = seed;
+    sc_t_fail = t.t_fail;
+    sc_delay = t.convergence_delay;
+    sc_complete = t.complete;
+    sc_events = t.events;
+    sc_totals = t.totals;
+    sc_aggregate = t.aggregate;
+    sc_by_router = t.aggregate_by_router;
+    sc_dests =
+      List.map
+        (fun d ->
+          {
+            sd_dest = d.dest;
+            sd_tail = d.tail;
+            sd_complete = d.dest_complete;
+            sd_parts = d.dest_parts;
+          })
+        t.per_dest;
+    sc_violations = violations;
+  }
+
+let sidecar_suffix = ".attr.json"
+let sidecar_path trace = Filename.remove_extension trace ^ sidecar_suffix
+let is_sidecar_path path = Filename.check_suffix path sidecar_suffix
+
+let sidecar_to_json sc =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\"schema\":\"bgp-attr-sidecar/1\",\"seed\":%d,\"t_fail\":%s,\"delay\":%s,\"complete\":%b,\"events\":%d,"
+    sc.sc_seed (json_float sc.sc_t_fail) (json_float sc.sc_delay) sc.sc_complete
+    sc.sc_events;
+  Buffer.add_string buf "\"totals\":";
+  buf_components buf sc.sc_totals;
+  Buffer.add_string buf ",\"aggregate\":";
+  buf_components buf sc.sc_aggregate;
+  Buffer.add_string buf ",\"by_router\":[";
+  List.iteri
+    (fun i (router, parts) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "[%d," router;
+      buf_components buf parts;
+      Buffer.add_char buf ']')
+    sc.sc_by_router;
+  Buffer.add_string buf "],\"dests\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"dest\":%d,\"tail\":%s,\"complete\":%b,\"parts\":" d.sd_dest
+        (json_float d.sd_tail) d.sd_complete;
+      buf_components buf d.sd_parts;
+      Buffer.add_char buf '}')
+    sc.sc_dests;
+  Buffer.add_string buf "],\"violations\":[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (J.escape v))
+    sc.sc_violations;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let components_of_json j =
+  let o = J.obj j in
+  let f key = J.float (J.field o key) in
+  {
+    queueing = f "queueing";
+    processing = f "processing";
+    mrai_hold = f "mrai_hold";
+    propagation = f "propagation";
+  }
+
+let sidecar_of_json s =
+  J.try_result @@ fun () ->
+    let o = J.obj (J.parse s) in
+    (match J.str (J.field o "schema") with
+    | "bgp-attr-sidecar/1" -> ()
+    | other -> raise (J.Bad (Printf.sprintf "unknown sidecar schema %S" other)));
+    {
+      sc_seed = J.int (J.field o "seed");
+      sc_t_fail = J.float (J.field o "t_fail");
+      sc_delay = J.float (J.field o "delay");
+      sc_complete = J.bool (J.field o "complete");
+      sc_events = J.int (J.field o "events");
+      sc_totals = components_of_json (J.field o "totals");
+      sc_aggregate = components_of_json (J.field o "aggregate");
+      sc_by_router =
+        List.map
+          (fun pair ->
+            match J.arr pair with
+            | [ router; parts ] -> (J.int router, components_of_json parts)
+            | _ -> raise (J.Bad "by_router: expected a [router, parts] pair"))
+          (J.arr (J.field o "by_router"));
+      sc_dests =
+        List.map
+          (fun dj ->
+            let d = J.obj dj in
+            {
+              sd_dest = J.int (J.field d "dest");
+              sd_tail = J.float (J.field d "tail");
+              sd_complete = J.bool (J.field d "complete");
+              sd_parts = components_of_json (J.field d "parts");
+            })
+          (J.arr (J.field o "dests"));
+      sc_violations = List.map J.str (J.arr (J.field o "violations"));
+    }
+
+(* Atomic write (temp + rename): a live directory watcher must never see
+   a half-written sidecar, and a crash must not leave one behind as if it
+   were complete. *)
+let write_sidecar path sc =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     output_string oc (sidecar_to_json sc);
+     output_char oc '\n'
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    raise e);
+  Sys.rename tmp path
+
+let read_sidecar path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match sidecar_of_json (String.trim contents) with
+    | Ok sc -> Ok sc
+    | Error msg -> Error (Printf.sprintf "%s: bad sidecar (%s)" path msg))
+
 (* --- Multi-trial merge ---------------------------------------------------- *)
 
 type trial = { trial_seed : int; attr : t }

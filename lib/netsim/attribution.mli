@@ -157,12 +157,72 @@ val pp_per_dest : ?top:int -> Format.formatter -> t -> unit
 (** Per-destination report: tail percentiles, stragglers beyond p95, and
     the [top] (default 5) slowest destinations with their decompositions. *)
 
+(** {2 Per-trial sidecars}
+
+    A sidecar is the compact, mergeable residue of one trial's
+    attribution — schema ["bgp-attr-sidecar/1"]: the component sums
+    (critical-path and network-wide, per router) plus one delay sample
+    per destination, with every float printed exactly (["%.17g"]) so a
+    merge over sidecars is bit-equal to a merge over re-analyzed traces.
+    Every traced run persists one next to its finalized trace
+    ({!Runner.finalize_traced}, {!Bgp_experiments.Sweep.traced_archived},
+    [bgpsim chaos --sidecar-dir]), which is what makes
+    [bgpsim analyze --merge] O(trials) instead of O(events) and lets
+    [bgpsim serve] watch a campaign without touching raw traces. *)
+
+type sidecar_dest = {
+  sd_dest : int;
+  sd_tail : float;
+  sd_complete : bool;
+  sd_parts : components;
+}
+
+type sidecar = {
+  sc_seed : int;
+  sc_t_fail : float;
+  sc_delay : float;  (** the trial's convergence delay *)
+  sc_complete : bool;
+  sc_events : int;  (** post-failure events the analysis covered *)
+  sc_totals : components;  (** critical-path decomposition *)
+  sc_aggregate : components;  (** network-wide decomposition *)
+  sc_by_router : (int * components) list;
+      (** [aggregate_by_router], the flamegraph data, sorted by router *)
+  sc_dests : sidecar_dest list;  (** per-destination tails, slowest first *)
+  sc_violations : string list;
+      (** chaos invariant-battery failures ([] for a clean or non-chaos
+          trial) — lets a live campaign serve its pass/fail tally *)
+}
+
+val sidecar_of : ?violations:string list -> seed:int -> t -> sidecar
+
+val sidecar_path : string -> string
+(** The sidecar path for a trace file: ["t.seed7.jsonl"] maps to
+    ["t.seed7.attr.json"] (the extension is replaced). *)
+
+val is_sidecar_path : string -> bool
+(** True for paths ending in [".attr.json"]. *)
+
+val sidecar_to_json : sidecar -> string
+(** One ["bgp-attr-sidecar/1"] document, no trailing newline. *)
+
+val sidecar_of_json : string -> (sidecar, string) result
+
+val write_sidecar : string -> sidecar -> unit
+(** Write atomically (temp file + rename), so a directory watcher
+    ({!Bgp_experiments.Serve}) never observes a partial sidecar. *)
+
+val read_sidecar : string -> (sidecar, string) result
+(** [Error] — never an exception — for an unreadable or malformed file;
+    the message names the file. *)
+
 (** {2 Multi-trial merge}
 
     Traced trials of a sweep each produce one finalized trace file
     ({!Trace.finalize}); merging pools their per-destination tails into
     sweep-wide percentiles and straggler rankings without re-running
-    anything. *)
+    anything.  (The streaming, O(trials) path over sidecars lives in
+    {!Attr_merge}; this in-memory merge remains the reference the
+    streamed one is tested against.) *)
 
 type trial = { trial_seed : int; attr : t }
 

@@ -1,0 +1,48 @@
+(** Minimal JSON reader shared by the netsim serialization layers
+    ({!Trace} spill files, {!Attribution} sidecars, {!Attr_merge}
+    reports).  The dependency budget rules out a JSON library, so the
+    parser is hand-rolled; numbers keep their literal text so ints and
+    ["%.17g"]-printed floats both round-trip exactly. *)
+
+type t =
+  | Num of string  (** the literal, unconverted — caller picks int/float *)
+  | Str of string
+  | Bool of bool
+  | Null
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+(** Raised by {!parse} and the accessors below; the message carries the
+    offending position or key. *)
+
+val parse : string -> t
+(** @raise Bad on malformed input (including trailing garbage). *)
+
+(** {2 Accessors}
+
+    All raise {!Bad} (never return) on shape mismatch, so a reader is a
+    straight-line chain of lookups wrapped once in {!try_result}. *)
+
+val obj : t -> (string * t) list
+val field : (string * t) list -> string -> t
+val field_opt : (string * t) list -> string -> t option
+val str : t -> string
+val num : t -> string
+val int : t -> int
+val float : t -> float
+val bool : t -> bool
+val arr : t -> t list
+
+val try_result : (unit -> 'a) -> ('a, string) result
+(** Run a parser chain, catching {!Bad} and [Failure] into [Error]. *)
+
+(** {2 Emission helpers} *)
+
+val float_lit : float -> string
+(** Shortest exact rendering: ["%.1f"] for small integers, ["%.17g"]
+    otherwise — the same convention every emitter in the repo uses, so
+    reparsing is bit-exact. *)
+
+val escape : string -> string
+(** A double-quoted JSON string literal. *)

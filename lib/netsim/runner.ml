@@ -208,6 +208,26 @@ let traced ?capacity ?spill_base s ~trials =
       let trace = Trace.create ?capacity ?spill () in
       ({ s with seed; net = { s.net with Network.trace = Some trace } }, trace))
 
+(* Archive a traced batch: every spilled trial becomes a finalized,
+   self-describing trace file plus (by default) its bgp-attr-sidecar/1
+   sidecar — the compact residue `analyze --merge` and `bgpsim serve`
+   fold without ever re-reading the event JSONL. *)
+let finalize_traced ?(sidecars = true) pairs results =
+  let written = ref [] in
+  List.iter2
+    (fun ((s : scenario), trace) (r : result) ->
+      match (Trace.spill_path trace, r.attribution) with
+      | Some spill, Some attr ->
+        Trace.finalize trace ~meta:{ Trace.seed = s.seed; t_fail = attr.Attribution.t_fail };
+        if sidecars then begin
+          let path = Attribution.sidecar_path spill in
+          Attribution.write_sidecar path (Attribution.sidecar_of ~seed:s.seed attr);
+          written := path :: !written
+        end
+      | _ -> Trace.close trace)
+    pairs results;
+  List.rev !written
+
 let run_mean s ~trials ~metric =
   let stats = Stats.create () in
   for i = 0 to trials - 1 do

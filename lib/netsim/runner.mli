@@ -130,3 +130,13 @@ val traced :
     The traces are returned so the caller can inspect, {!Trace.finalize}
     or close them after running.
     @raise Invalid_argument if [trials <= 0]. *)
+
+val finalize_traced :
+  ?sidecars:bool -> (scenario * Trace.t) list -> result list -> string list
+(** Archive a traced batch after the runs: every trial with a spill file
+    is {!Trace.finalize}d (events + meta line) and — unless
+    [~sidecars:false] — its {!Attribution.sidecar} is written next to
+    the trace ({!Attribution.sidecar_path}), atomically.  Trials without
+    a spill file are just closed.  Returns the sidecar paths written.
+    The sidecar is what makes later [analyze --merge] passes O(trials):
+    the raw event JSONL is never re-read when a sidecar is present. *)

@@ -144,9 +144,7 @@ let pp_event ppf = function
 (* "%.17g" round-trips any finite double exactly, so spilled events parse
    back bit-identical and attribution over a spilled trace matches the
    in-memory result. *)
-let json_float v =
-  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
-  else Printf.sprintf "%.17g" v
+let json_float = Json_lite.float_lit
 
 let buf_update buf update =
   match update with
@@ -196,244 +194,81 @@ let event_to_json event =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-(* Minimal JSON reader for our own emitted lines (cf. the hand-rolled
-   reader in Bench_report, which lives above this library in the
-   dependency order).  Numbers keep their literal so ints and exact
-   floats both survive. *)
-type json =
-  | Num of string
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Bad of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> incr pos
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      incr pos;
-      skip_ws ()
-    | _ -> ()
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> incr pos
-      | Some '\\' ->
-        incr pos;
-        (match peek () with
-        | Some '"' -> Buffer.add_char buf '"'
-        | Some '\\' -> Buffer.add_char buf '\\'
-        | Some 'n' -> Buffer.add_char buf '\n'
-        | Some c -> Buffer.add_char buf c
-        | None -> fail "truncated escape");
-        incr pos;
-        go ()
-      | Some c ->
-        incr pos;
-        Buffer.add_char buf c;
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let number_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> number_char c | None -> false) do
-      incr pos
-    done;
-    if !pos = start then fail "expected a number";
-    Num (String.sub s start (!pos - start))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Str (parse_string ())
-    | Some '{' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some '}' then begin
-        incr pos;
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            members ((key, v) :: acc)
-          | Some '}' ->
-            incr pos;
-            Obj (List.rev ((key, v) :: acc))
-          | _ -> fail "expected , or }"
-        in
-        members []
-      end
-    | Some '[' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some ']' then begin
-        incr pos;
-        Arr []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            elements (v :: acc)
-          | Some ']' ->
-            incr pos;
-            Arr (List.rev (v :: acc))
-          | _ -> fail "expected , or ]"
-        in
-        elements []
-      end
-    | _ -> parse_number ()
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+(* The JSON reader lives in {!Json_lite}, shared with the sidecar and
+   merge layers; numbers keep their literal so ints and exact floats both
+   survive. *)
+module J = Json_lite
 
 let event_of_json ~paths line =
-  try
-    let json = parse_json line in
-    let obj = match json with Obj o -> o | _ -> raise (Bad "expected an object") in
-    let field key =
-      match List.assoc_opt key obj with
-      | Some v -> v
-      | None -> raise (Bad (Printf.sprintf "missing field %S" key))
-    in
-    let num key =
-      match field key with Num s -> s | _ -> raise (Bad (key ^ ": expected a number"))
-    in
-    let int key =
-      match int_of_string_opt (num key) with
-      | Some v -> v
-      | None -> raise (Bad (key ^ ": expected an int"))
-    in
-    let fl key = float_of_string (num key) in
-    let str key =
-      match field key with Str s -> s | _ -> raise (Bad (key ^ ": expected a string"))
-    in
+  J.try_result @@ fun () ->
+    let obj = J.obj (J.parse line) in
+    let field = J.field obj in
+    let int key = J.int (field key) in
+    let fl key = J.float (field key) in
+    let str key = J.str (field key) in
     let update () =
-      let u = match field "update" with Obj o -> o | _ -> raise (Bad "bad update") in
-      let ufield key =
-        match List.assoc_opt key u with
-        | Some v -> v
-        | None -> raise (Bad ("update: missing " ^ key))
-      in
-      let uint key =
-        match ufield key with
-        | Num s -> int_of_string s
-        | _ -> raise (Bad ("update: bad " ^ key))
-      in
-      match ufield "kind" with
-      | Str "withdraw" -> Types.Withdraw (uint "dest")
-      | Str "advertise" ->
-        let hops =
-          match ufield "path" with
-          | Arr l ->
-            List.map
-              (function Num s -> int_of_string s | _ -> raise (Bad "bad path hop"))
-              l
-          | _ -> raise (Bad "update: bad path")
-        in
+      let u = J.obj (field "update") in
+      let uint key = J.int (J.field u key) in
+      match J.str (J.field u "kind") with
+      | "withdraw" -> Types.Withdraw (uint "dest")
+      | "advertise" ->
+        let hops = List.map J.int (J.arr (J.field u "path")) in
         Types.Advertise { dest = uint "dest"; path = Path.of_list paths hops }
-      | _ -> raise (Bad "update: unknown kind")
+      | _ -> raise (J.Bad "update: unknown kind")
     in
     let id = int "id" and time = fl "time" in
     match str "type" with
     | "update_sent" ->
-      Ok
-        (Update_sent
-           {
-             id;
-             time;
-             src = int "src";
-             dst = int "dst";
-             update = update ();
-             cause = int "cause";
-           })
+      Update_sent
+        {
+          id;
+          time;
+          src = int "src";
+          dst = int "dst";
+          update = update ();
+          cause = int "cause";
+        }
     | "update_delivered" ->
-      Ok
-        (Update_delivered
-           {
-             id;
-             time;
-             src = int "src";
-             dst = int "dst";
-             update = update ();
-             cause = int "cause";
-           })
+      Update_delivered
+        {
+          id;
+          time;
+          src = int "src";
+          dst = int "dst";
+          update = update ();
+          cause = int "cause";
+        }
     | "processed" ->
-      Ok
-        (Processed
-           {
-             id;
-             time;
-             router = int "router";
-             src = int "src";
-             dest = int "dest";
-             enqueued = fl "enqueued";
-             started = fl "started";
-             cause = int "cause";
-           })
+      Processed
+        {
+          id;
+          time;
+          router = int "router";
+          src = int "src";
+          dest = int "dest";
+          enqueued = fl "enqueued";
+          started = fl "started";
+          cause = int "cause";
+        }
     | "mrai_flush" ->
-      Ok
-        (Mrai_flush
-           {
-             id;
-             time;
-             router = int "router";
-             peer = int "peer";
-             dest = int "dest";
-             ready = fl "ready";
-             cause = int "cause";
-           })
-    | "router_failed" -> Ok (Router_failed { id; time; router = int "router" })
+      Mrai_flush
+        {
+          id;
+          time;
+          router = int "router";
+          peer = int "peer";
+          dest = int "dest";
+          ready = fl "ready";
+          cause = int "cause";
+        }
+    | "router_failed" -> Router_failed { id; time; router = int "router" }
     | "session_down" ->
-      Ok
-        (Session_down
-           { id; time; router = int "router"; peer = int "peer"; cause = int "cause" })
+      Session_down { id; time; router = int "router"; peer = int "peer"; cause = int "cause" }
     | "session_up" ->
-      Ok
-        (Session_up
-           { id; time; router = int "router"; peer = int "peer"; cause = int "cause" })
+      Session_up { id; time; router = int "router"; peer = int "peer"; cause = int "cause" }
     | "fault" ->
-      Ok
-        (Fault
-           { id; time; label = str "label"; router = int "router"; cause = int "cause" })
-    | kind -> Error (Printf.sprintf "unknown event type %S" kind)
-  with
-  | Bad msg -> Error msg
-  | Failure msg -> Error msg
+      Fault { id; time; label = str "label"; router = int "router"; cause = int "cause" }
+    | kind -> raise (J.Bad (Printf.sprintf "unknown event type %S" kind))
 
 (* --- Run-meta line --------------------------------------------------------- *)
 
@@ -455,20 +290,9 @@ let is_meta_line line =
   && String.sub line 0 (String.length meta_prefix) = meta_prefix
 
 let meta_of_json line =
-  try
-    let obj =
-      match parse_json line with Obj o -> o | _ -> raise (Bad "expected an object")
-    in
-    let num key =
-      match List.assoc_opt key obj with
-      | Some (Num s) -> s
-      | Some _ -> raise (Bad (key ^ ": expected a number"))
-      | None -> raise (Bad (Printf.sprintf "missing field %S" key))
-    in
-    Ok { seed = int_of_string (num "seed"); t_fail = float_of_string (num "t_fail") }
-  with
-  | Bad msg -> Error msg
-  | Failure msg -> Error msg
+  J.try_result @@ fun () ->
+    let obj = J.obj (J.parse line) in
+    { seed = J.int (J.field obj "seed"); t_fail = J.float (J.field obj "t_fail") }
 
 (* --- Ring buffer + spill sink --------------------------------------------- *)
 
