@@ -92,7 +92,10 @@ let parse_args () =
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some j when j >= 1 -> Pool.set_default_jobs j
-      | Some _ | None -> failwith ("--jobs expects a positive integer, got " ^ n));
+      | Some 0 -> ()
+        (* auto: keep the recommended-domain-count default; the header
+           line echoes the resolved value *)
+      | Some _ | None -> failwith ("--jobs expects a non-negative integer, got " ^ n));
       loop rest
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
       figures := arg :: !figures;

@@ -14,6 +14,9 @@ module Types = Bgp_proto.Types
 module Sched = Bgp_engine.Scheduler
 module Heap = Bgp_engine.Heap
 module Rng = Bgp_engine.Rng
+module Shard_exec = Bgp_engine.Shard_exec
+module Topology = Bgp_topology.Topology
+module Partition = Bgp_topology.Partition
 module Report = Bgp_experiments.Bench_report
 
 let time f =
@@ -144,6 +147,68 @@ let bench_heap_churn ~iters () =
   in
   Report.micro ~name:"heap.push_pop" ~iters ~wall
 
+(* --- Shard layer ---------------------------------------------------------- *)
+
+(* Mailbox enqueue + sorted drain: post [batch] messages across the 0->1
+   edge, then run one (empty-scheduler) phase so the barrier machinery
+   drains, sorts and delivers them — the per-window cost the sharded
+   executor pays for every cross-shard message. *)
+let bench_shard_mailbox ~iters () =
+  let batch = 256 in
+  let rounds = max 1 (iters / batch) in
+  let delivered = ref 0 in
+  let wall =
+    time (fun () ->
+        for _ = 1 to rounds do
+          let t = Shard_exec.create ~shards:2 ~compare:Int.compare in
+          for i = 0 to batch - 1 do
+            Shard_exec.post t ~src:0 ~dst:1 i
+          done;
+          Shard_exec.run_phase t ~lookahead:0.025 ~cap:1.0
+            ~deliver:(fun _ msgs -> delivered := !delivered + Array.length msgs)
+            ()
+        done)
+  in
+  assert (!delivered = rounds * batch);
+  Report.micro ~name:"shard.mailbox_post_drain" ~iters:(rounds * batch) ~wall
+
+(* Raw barrier round-trip between two domains: the synchronization floor
+   under every window of the sharded executor. *)
+let bench_shard_barrier ~iters () =
+  let b = Shard_exec.Barrier.create 2 in
+  let wall =
+    time (fun () ->
+        let other =
+          Domain.spawn (fun () ->
+              for _ = 1 to iters do
+                Shard_exec.Barrier.wait b
+              done)
+        in
+        for _ = 1 to iters do
+          Shard_exec.Barrier.wait b
+        done;
+        Domain.join other)
+  in
+  Report.micro ~name:"shard.barrier_round_trip" ~iters ~wall
+
+(* Partitioner wall-time at realistic topology scales (the one-off cost a
+   sharded run pays before building the network).  Generation is outside
+   the timed region; Barabasi-Albert keeps it cheap at 50k nodes where
+   the degree-sequence generator's O(n^2) graphicality test would not. *)
+let bench_partition ~n ~iters () =
+  let rng = Rng.create 1 in
+  let topo = Topology.of_graph rng (Bgp_topology.Models.barabasi_albert rng ~n ~m:2) in
+  let cut = ref 0 in
+  let wall =
+    time (fun () ->
+        for seed = 1 to iters do
+          let p = Partition.compute ~shards:4 ~seed topo in
+          cut := !cut + p.Partition.cut_edges
+        done)
+  in
+  ignore !cut;
+  Report.micro ~name:(Printf.sprintf "partition.compute/%dk" (n / 1000)) ~iters ~wall
+
 (* --- Driver -------------------------------------------------------------- *)
 
 let () =
@@ -165,7 +230,14 @@ let () =
       bench_rib_select ~iters:(scale 1_000_000);
       bench_sched_churn ~iters:(scale 1_000_000);
       bench_heap_churn ~iters:(scale 2_000_000);
+      bench_shard_mailbox ~iters:(scale 200_000);
+      bench_shard_barrier ~iters:(scale 100_000);
+      bench_partition ~n:1_000 ~iters:(max 1 (scale 50));
+      bench_partition ~n:10_000 ~iters:(max 1 (scale 10));
     ]
+    (* The 50k point's topology *generation* (outside the timed region)
+       takes minutes, so it only runs in full mode. *)
+    @ (if quick then [] else [ bench_partition ~n:50_000 ~iters:1 ])
   in
   let report = Report.create ~trials:1 ~n:0 ~jobs:1 in
   Fmt.pr "%-24s %12s %12s %14s@." "benchmark" "iters" "ns/op" "ops/s";

@@ -62,7 +62,25 @@ type opts = {
   analytic : bool;
   hold_time : float option;
   validate : bool;
+  shards : int option;
 }
+
+(* --shards 0 = auto: split the recommended domain budget with the trial
+   pool, so jobs x shards stays near the core count.  Resolve before
+   building the scenario (Runner rejects a non-positive shard count). *)
+let resolve_shards ~jobs ~quiet = function
+  | None -> None
+  | Some 0 ->
+    let recommended = Domain.recommended_domain_count () in
+    let k = max 1 (recommended / max 1 jobs) in
+    if not quiet then
+      Fmt.pr "shards: auto-selected %d (%d recommended domains / %d jobs)@." k
+        recommended jobs;
+    Some k
+  | Some k when k < 0 ->
+    Fmt.epr "error: --shards must be >= 0 (0 = auto), got %d@." k;
+    exit 1
+  | Some k -> Some k
 
 (* Build the scenario (minus trace/telemetry, which differ per command). *)
 let build_scenario o =
@@ -122,7 +140,7 @@ let build_scenario o =
           (Runner.scenario ~net:net_config ~failure:(Runner.Fraction o.failure)
              ~seed:o.seed ~validate:o.validate
              ~warmup:(if o.analytic then Runner.Analytic else Runner.Simulated)
-             ~policies:o.policies topo)))
+             ~policies:o.policies ?sharding:o.shards topo)))
 
 let pp_attr_line ppf (attr : Attribution.t) =
   Fmt.pf ppf
@@ -140,6 +158,15 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
     Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
     exit 1
   end;
+  let jobs =
+    if jobs <> 0 then jobs
+    else begin
+      let j = Bgp_engine.Pool.default_jobs () in
+      if not quiet then Fmt.pr "jobs: auto-selected %d (recommended domain count)@." j;
+      j
+    end
+  in
+  let opts = { opts with shards = resolve_shards ~jobs ~quiet opts.shards } in
   match build_scenario opts with
   | Error m ->
     Fmt.epr "error: %s@." m;
@@ -159,7 +186,6 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
        --trace-file its own seed-suffixed spill file — so tracing composes
        with the domain pool at any job count. *)
     let want_trace = trace_n <> None || trace_file <> None in
-    let jobs = if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs in
     let scenario = { scenario with Runner.net = net_config } in
     let delays = Bgp_engine.Stats.create () in
     let msgs = Bgp_engine.Stats.create () in
@@ -307,6 +333,8 @@ let analyze_main opts capacity spill json_path top max_hops per_dest flame_path 
   match merge_dir with
   | Some dir -> merge_main dir json_path flame_path top jobs reparse quiet
   | None -> (
+    (* One trial: the shard budget gets the whole machine. *)
+    let opts = { opts with shards = resolve_shards ~jobs:1 ~quiet opts.shards } in
     match build_scenario opts with
     | Error m ->
       Fmt.epr "error: %s@." m;
@@ -366,6 +394,10 @@ let chaos_main opts trials jobs max_events horizon replay_every capacity out
     Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
     exit 1
   end;
+  let opts =
+    let effective = if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs in
+    { opts with shards = resolve_shards ~jobs:effective ~quiet opts.shards }
+  in
   match build_scenario opts with
   | Error m ->
     Fmt.epr "error: %s@." m;
@@ -484,10 +516,21 @@ let per_dest =
 let validate =
   Arg.(value & flag & info [ "validate" ] ~doc:"Check routing invariants after each phase.")
 
+let shards_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shards" ] ~docv:"K"
+           ~doc:"Run each trial itself across K domains: the topology is \
+                 deterministically partitioned and the event loop executes in \
+                 conservative barrier-synchronized windows with the link delay as \
+                 lookahead.  Results are bit-identical for every K >= 1.  0 = auto \
+                 (recommended domain count divided by the effective --jobs, so \
+                 jobs x shards stays near the core count).  Omit for the classic \
+                 sequential engine.")
+
 let opts_term =
   let mk nodes realistic spec_name failure seed scheme_name mrai low high up_th down_th
       batching tcp_batch per_dest bypass_name damping policies analytic hold_time
-      validate =
+      validate shards =
     {
       nodes;
       realistic;
@@ -509,12 +552,13 @@ let opts_term =
       analytic;
       hold_time;
       validate;
+      shards;
     }
   in
   Term.(
     const mk $ nodes $ realistic $ spec_name $ failure $ seed $ scheme_name $ mrai $ low
     $ high $ up_th $ down_th $ batching $ tcp_batch $ per_dest $ bypass_name $ damping
-    $ policies $ analytic $ hold_time $ validate)
+    $ policies $ analytic $ hold_time $ validate $ shards_arg)
 
 let trace_n =
   Arg.(value & opt (some int) None

@@ -57,7 +57,12 @@ let dump_edges topo =
       Fmt.pr "%d %d %s@." u v (if Topology.is_ebgp topo u v then "ebgp-link" else "intra-as"))
     topo.Topology.graph ()
 
-let run nodes seed realistic spec_name model format =
+let partition_stats topo ~shards ~seed =
+  let module Partition = Bgp_topology.Partition in
+  let p = Partition.compute ~shards ~seed topo in
+  Fmt.pr "partition (seed %d): %a@." seed Partition.pp_stats p
+
+let run nodes seed realistic spec_name model format shards show_partition =
   match generate ~nodes ~seed ~realistic ~spec_name ~model with
   | Error m ->
     Fmt.epr "error: %s@." m;
@@ -69,9 +74,11 @@ let run nodes seed realistic spec_name model format =
     match format with
     | "summary" ->
       summarize topo;
+      if show_partition then partition_stats topo ~shards ~seed;
       0
     | "edges" ->
       dump_edges topo;
+      if show_partition then partition_stats topo ~shards ~seed;
       0
     | f ->
       Fmt.epr "unknown format %S (summary|edges)@." f;
@@ -85,10 +92,25 @@ let model =
   Arg.(value & opt (some string) None & info [ "model" ] ~doc:"waxman, ba or glp.")
 let format = Arg.(value & opt string "summary" & info [ "format" ] ~doc:"summary or edges.")
 
+let shards =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~doc:"Shard count for $(b,--partition-stats).")
+
+let show_partition =
+  Arg.(
+    value & flag
+    & info [ "partition-stats" ]
+        ~doc:
+          "Partition the topology (same partitioner the sharded simulator uses) \
+           and print edge-cut percentage and shard size min/max/imbalance.")
+
 let cmd =
   let doc = "generate BRITE-style topologies" in
   Cmd.v
     (Cmd.info "topogen" ~doc)
-    Term.(const run $ nodes $ seed $ realistic $ spec_name $ model $ format)
+    Term.(
+      const run $ nodes $ seed $ realistic $ spec_name $ model $ format $ shards
+      $ show_partition)
 
 let () = exit (Cmd.eval' cmd)

@@ -227,6 +227,15 @@ let step t =
   end
   else false
 
+let next_time t = if skim t then Some t.h_time.(0) else None
+
+let run_window t ~stop ~cap =
+  let continue = ref true in
+  while !continue do
+    if skim t && t.h_time.(0) < stop && t.h_time.(0) <= cap then exec_root t
+    else continue := false
+  done
+
 let run ?until t =
   match until with
   | None -> while step t do () done

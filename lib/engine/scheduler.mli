@@ -41,6 +41,15 @@ val run : ?until:float -> t -> unit
     scheduled strictly after [until] (the clock then reads the time of the
     last executed event). *)
 
+val next_time : t -> float option
+(** Timestamp of the earliest live event, without executing it.
+    [None] if the queue is empty. *)
+
+val run_window : t -> stop:float -> cap:float -> unit
+(** Execute every live event with time strictly below [stop] and at most
+    [cap].  The conservative-window primitive: a shard drains its slab up
+    to the window boundary and no further. *)
+
 val time_of_last_event : t -> float
 (** Timestamp of the most recently executed event (0 if none ran yet). *)
 

@@ -1,0 +1,174 @@
+(* Barrier-windowed conservative execution.  Three barriers per round:
+
+     B1  every shard finished the previous window (all posts visible)
+     B2  every shard drained its incoming mailboxes (deliveries queued)
+     B3  shard 0 published the next-window decision (or Stop)
+
+   Between B2 and B3 shard 0 alone computes the global minimum
+   next-event time and runs the caller's [at_barrier] hook, so the hook
+   can read cross-shard state without racing.  The mutex-based barrier
+   gives the happens-before edges that make the lock-free mailboxes (a
+   plain [list ref] per directed shard pair, written only by the source
+   domain) safe to read on the destination side. *)
+
+module Barrier = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    parties : int;
+    mutable count : int;
+    mutable phase : int;
+  }
+
+  let create parties =
+    if parties < 1 then invalid_arg "Shard_exec.Barrier.create: parties must be >= 1";
+    { m = Mutex.create (); c = Condition.create (); parties; count = 0; phase = 0 }
+
+  let wait b =
+    if b.parties > 1 then begin
+      Mutex.lock b.m;
+      let phase = b.phase in
+      b.count <- b.count + 1;
+      if b.count = b.parties then begin
+        b.count <- 0;
+        b.phase <- phase + 1;
+        Condition.broadcast b.c
+      end
+      else
+        while b.phase = phase do
+          Condition.wait b.c b.m
+        done;
+      Mutex.unlock b.m
+    end
+end
+
+type decision = Stop | Window of float
+
+type 'msg t = {
+  k : int;
+  scheds : Scheduler.t array;
+  (* boxes.(src * k + dst): messages posted by shard [src] for shard
+     [dst] this window, newest first.  Written by src's domain only;
+     read and cleared by dst's domain after B1. *)
+  boxes : 'msg list ref array;
+  compare : 'msg -> 'msg -> int;
+  barrier : Barrier.t;
+  mutable decision : decision;  (* written by shard 0 between B2 and B3 *)
+  mutable windows : int;
+  (* Per-source posted counters, strided to keep each on its own cache
+     line (they are bumped on every send). *)
+  posted : int array;
+  excs : exn option array;
+}
+
+let stride = 16
+
+let create ~shards ~compare =
+  if shards < 1 then invalid_arg "Shard_exec.create: shards must be >= 1";
+  {
+    k = shards;
+    scheds = Array.init shards (fun _ -> Scheduler.create ());
+    boxes = Array.init (shards * shards) (fun _ -> ref []);
+    compare;
+    barrier = Barrier.create shards;
+    decision = Stop;
+    windows = 0;
+    posted = Array.make (shards * stride) 0;
+    excs = Array.make shards None;
+  }
+
+let shards t = t.k
+let sched t i = t.scheds.(i)
+
+let post t ~src ~dst m =
+  let box = t.boxes.((src * t.k) + dst) in
+  box := m :: !box;
+  t.posted.(src * stride) <- t.posted.(src * stride) + 1
+
+let drain_into t dst =
+  (* Gather everything addressed to [dst], restore posting order per
+     source, and sort with the caller's layout-invariant comparator. *)
+  let batch = ref [] in
+  for src = t.k - 1 downto 0 do
+    let box = t.boxes.((src * t.k) + dst) in
+    batch := List.rev_append !box !batch;
+    box := []
+  done;
+  match !batch with
+  | [] -> [||]
+  | msgs ->
+    let arr = Array.of_list msgs in
+    Array.sort t.compare arr;
+    arr
+
+let run_phase t ~lookahead ~cap ~deliver ?at_barrier () =
+  if lookahead <= 0.0 then invalid_arg "Shard_exec.run_phase: lookahead must be positive";
+  Array.fill t.excs 0 t.k None;
+  t.decision <- Stop;
+  let worker d =
+    let continue = ref true in
+    while !continue do
+      Barrier.wait t.barrier (* B1: previous window done, posts visible *);
+      (if t.excs.(d) = None then
+         try
+           let batch = drain_into t d in
+           if Array.length batch > 0 then deliver d batch
+         with e -> t.excs.(d) <- Some e);
+      Barrier.wait t.barrier (* B2: mailboxes empty, deliveries queued *);
+      if d = 0 then begin
+        let failed = Array.exists Option.is_some t.excs in
+        let next = ref None in
+        if not failed then
+          Array.iter
+            (fun sched ->
+              match Scheduler.next_time sched with
+              | None -> ()
+              | Some time -> (
+                match !next with
+                | Some best when best <= time -> ()
+                | Some _ | None -> next := Some time))
+            t.scheds;
+        t.decision <-
+          (match !next with
+          | Some start when start <= cap ->
+            (try
+               (match at_barrier with Some f -> f ~now:start | None -> ());
+               t.windows <- t.windows + 1;
+               Window (start +. lookahead)
+             with e ->
+               t.excs.(0) <- Some e;
+               Stop)
+          | Some _ | None -> Stop)
+      end;
+      Barrier.wait t.barrier (* B3: decision visible *);
+      match t.decision with
+      | Stop -> continue := false
+      | Window stop ->
+        if t.excs.(d) = None then (
+          try Scheduler.run_window t.scheds.(d) ~stop ~cap
+          with e -> t.excs.(d) <- Some e)
+    done
+  in
+  if t.k = 1 then worker 0
+  else begin
+    let domains = List.init (t.k - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+    worker 0;
+    List.iter Domain.join domains
+  end;
+  Array.iter (function Some e -> raise e | None -> ()) t.excs
+
+let now t = Array.fold_left (fun acc s -> Float.max acc (Scheduler.now s)) 0.0 t.scheds
+
+let pending t = Array.fold_left (fun acc s -> acc + Scheduler.pending s) 0 t.scheds
+
+let events_executed t =
+  Array.fold_left (fun acc s -> acc + Scheduler.events_executed s) 0 t.scheds
+
+type stats = { windows : int; posted : int }
+
+let stats t =
+  let posted = ref 0 in
+  for s = 0 to t.k - 1 do
+    posted := !posted + t.posted.(s * stride)
+  done;
+  { windows = t.windows; posted = !posted }

@@ -47,6 +47,70 @@ type fault_state = {
   mutable n_lost : int;  (* messages dropped in flight (severed/gray/dead dst) *)
 }
 
+(* --- Sharded execution state --------------------------------------------- *)
+
+module Shard_exec = Bgp_engine.Shard_exec
+
+(* A cross-shard (or, uniformly, any) update in flight.  [m_seq] is the
+   per-source-router send sequence: together with the arrival time and the
+   source router id it forms the delivery sort key, which depends only on
+   what each router did — never on the shard layout — so the delivery
+   schedule is bit-identical for any shard count. *)
+type msg = {
+  m_arrival : float;
+  m_src : int;
+  m_dst : int;
+  m_seq : int;
+  m_update : Types.update;
+  m_sent_id : int;  (* Update_sent trace id, or [Trace.no_cause] *)
+}
+
+let msg_compare a b =
+  let c = Float.compare a.m_arrival b.m_arrival in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.m_src b.m_src in
+    if c <> 0 then c else Int.compare a.m_seq b.m_seq
+
+(* Everything one shard's domain owns: its scheduler (inside the
+   executor), its path-interning table, its slice of the trace, its
+   counters, and its replica of the fault tables.  Fault events are
+   replicated into every shard's scheduler, so each replica of the
+   severed/factor/loss/skew tables evolves identically — a sender can
+   read delay factors and a receiver can read loss/sever state without
+   ever crossing a domain boundary. *)
+type shard_ctx = {
+  sx : int;
+  ssched : Sched.t;
+  spaths : Bgp_proto.Path.table;
+  strace : Trace.t option;
+  mutable s_adverts : int;
+  mutable s_withdrawals : int;
+  mutable s_session_downs : int;
+  mutable s_last_activity : float;
+  mutable s_lost : int;
+  mutable s_rep_events : int;  (* replicated fault events executed here *)
+  s_severed : (int * int, int) Hashtbl.t;
+  s_factor : (int * int, float) Hashtbl.t;
+  s_loss : (int * int, float) Hashtbl.t;
+  s_skew : float array;
+}
+
+type shard_state = {
+  exec : msg Shard_exec.t;
+  owner : int array;  (* router -> shard *)
+  ctxs : shard_ctx array;
+  (* Per-router trace-id and send-sequence counters.  Each slot is
+     written only by its owner's domain (or the single-threaded
+     orchestrator between phases). *)
+  sid : int array;
+  mseq : int array;
+  lookahead : float;
+  mutable deliver : int -> msg array -> unit;
+  mutable faults_on : bool;
+  mutable loss_salt : int64;
+}
+
 type t = {
   topo : Topology.t;
   config : config;
@@ -62,6 +126,7 @@ type t = {
   mutable n_session_downs : int;
   mutable last_activity : float;
   mutable faults : fault_state option;
+  shard : shard_state option;  (* present iff built by [build_sharded] *)
 }
 
 let link_key u v = if u <= v then (u, v) else (v, u)
@@ -145,6 +210,7 @@ let build ~sched ~rng ~config ?telemetry topo =
       n_session_downs = 0;
       last_activity = 0.0;
       faults = None;
+      shard = None;
     }
   in
   let net = ref net in
@@ -326,6 +392,23 @@ let sessions t = t.sessions
 
 let start_all t = Array.iter Router.start t.routers
 
+(* How long a surviving session peer takes to notice a drop: via the link
+   layer after a fixed delay, or when the BGP hold timer expires (sampled
+   from the session timing model: jittered hold time minus the time
+   already elapsed since the last keepalive). *)
+let detection_sample t =
+  match t.config.detection with
+  | Link_signal -> t.config.detection_delay
+  | Hold_timer session ->
+    let hold =
+      if session.Bgp_proto.Session.jitter then
+        session.Bgp_proto.Session.hold_time *. Rng.uniform t.detect_rng ~lo:0.75 ~hi:1.0
+      else session.Bgp_proto.Session.hold_time
+    in
+    let keepalive = session.Bgp_proto.Session.keepalive_fraction *. hold in
+    let since_last_keepalive = Rng.uniform t.detect_rng ~lo:0.0 ~hi:keepalive in
+    Float.max 0.001 (hold -. since_last_keepalive)
+
 let inject_failure t failure =
   let n = num_routers t in
   (* Trace ids of the Router_failed events, so each surviving peer's
@@ -344,23 +427,7 @@ let inject_failure t failure =
       Router.fail t.routers.(r)
     end
   done;
-  (* Surviving session peers notice the drop: via the link layer after a
-     fixed delay, or when the BGP hold timer expires (sampled from the
-     session timing model: jittered hold time minus the time already
-     elapsed since the last keepalive). *)
-  let detection_sample () =
-    match t.config.detection with
-    | Link_signal -> t.config.detection_delay
-    | Hold_timer session ->
-      let hold =
-        if session.Bgp_proto.Session.jitter then
-          session.Bgp_proto.Session.hold_time *. Rng.uniform t.detect_rng ~lo:0.75 ~hi:1.0
-        else session.Bgp_proto.Session.hold_time
-      in
-      let keepalive = session.Bgp_proto.Session.keepalive_fraction *. hold in
-      let since_last_keepalive = Rng.uniform t.detect_rng ~lo:0.0 ~hi:keepalive in
-      Float.max 0.001 (hold -. since_last_keepalive)
-  in
+  let detection_sample () = detection_sample t in
   for r = 0 to n - 1 do
     if Failure.is_failed failure r then
       List.iter
@@ -420,22 +487,39 @@ let inject_link_failures t links =
 (* --- Fault-injection hooks ---------------------------------------------- *)
 
 let enable_faults t ~rng =
-  match t.faults with
-  | Some _ -> invalid_arg "Network.enable_faults: already enabled"
-  | None ->
-    t.faults <-
-      Some
-        {
-          fault_rng = rng;
-          severed = Hashtbl.create 16;
-          link_factor = Hashtbl.create 16;
-          link_loss = Hashtbl.create 16;
-          skew = Array.make (Array.length t.routers) 0.0;
-          n_lost = 0;
-        }
+  match t.shard with
+  | Some sh ->
+    if sh.faults_on then invalid_arg "Network.enable_faults: already enabled";
+    sh.faults_on <- true;
+    (* One draw from the injector stream salts the hash-based gray-link
+       loss decisions (see [loss_draw]); the hash replaces the sequential
+       path's shared-RNG draws because those depend on global delivery
+       order, which no shard can observe. *)
+    sh.loss_salt <- Rng.int64 rng
+  | None -> (
+    match t.faults with
+    | Some _ -> invalid_arg "Network.enable_faults: already enabled"
+    | None ->
+      t.faults <-
+        Some
+          {
+            fault_rng = rng;
+            severed = Hashtbl.create 16;
+            link_factor = Hashtbl.create 16;
+            link_loss = Hashtbl.create 16;
+            skew = Array.make (Array.length t.routers) 0.0;
+            n_lost = 0;
+          })
 
-let faults_enabled t = Option.is_some t.faults
-let lost_messages t = match t.faults with None -> 0 | Some f -> f.n_lost
+let faults_enabled t =
+  match t.shard with
+  | Some sh -> sh.faults_on
+  | None -> Option.is_some t.faults
+
+let lost_messages t =
+  match t.shard with
+  | Some sh -> Array.fold_left (fun acc c -> acc + c.s_lost) 0 sh.ctxs
+  | None -> ( match t.faults with None -> 0 | Some f -> f.n_lost)
 
 let require_faults t =
   match t.faults with
@@ -525,15 +609,32 @@ let cross_sessions t ~side =
     t.sessions
 
 let is_failed t r = t.failed.(r)
-let messages_sent t = t.n_adverts + t.n_withdrawals
-let adverts_sent t = t.n_adverts
-let withdrawals_sent t = t.n_withdrawals
-let session_downs t = t.n_session_downs
-let last_activity t = t.last_activity
+
+let adverts_sent t =
+  match t.shard with
+  | Some sh -> Array.fold_left (fun acc c -> acc + c.s_adverts) 0 sh.ctxs
+  | None -> t.n_adverts
+
+let withdrawals_sent t =
+  match t.shard with
+  | Some sh -> Array.fold_left (fun acc c -> acc + c.s_withdrawals) 0 sh.ctxs
+  | None -> t.n_withdrawals
+
+let messages_sent t = adverts_sent t + withdrawals_sent t
+
+let session_downs t =
+  match t.shard with
+  | Some sh -> Array.fold_left (fun acc c -> acc + c.s_session_downs) 0 sh.ctxs
+  | None -> t.n_session_downs
+
+let last_activity t =
+  match t.shard with
+  | Some sh -> Array.fold_left (fun acc c -> Float.max acc c.s_last_activity) 0.0 sh.ctxs
+  | None -> t.last_activity
 
 (* --- Telemetry probes ---------------------------------------------------- *)
 
-let probe_tick t tele =
+let probe_tick ?time t tele =
   let rows = ref [] in
   for r = Array.length t.routers - 1 downto 0 do
     if not t.failed.(r) then begin
@@ -551,7 +652,8 @@ let probe_tick t tele =
         :: !rows
     end
   done;
-  Telemetry.record_tick tele ~time:(Sched.now t.sched) (Array.of_list !rows)
+  let time = match time with Some x -> x | None -> Sched.now t.sched in
+  Telemetry.record_tick tele ~time (Array.of_list !rows)
 
 let start_probes t tele =
   let interval = (Telemetry.conf tele).Telemetry.probe_interval in
@@ -575,4 +677,513 @@ let overloaded_routers t ~threshold =
       acc := r :: !acc
   done;
   !acc
+
+(* --- Sharded build and execution ----------------------------------------- *)
+
+let require_shard t =
+  match t.shard with
+  | Some sh -> sh
+  | None -> invalid_arg "Network: this operation needs a build_sharded network"
+
+let is_sharded t = Option.is_some t.shard
+let shard_count t = match t.shard with None -> 1 | Some sh -> Array.length sh.ctxs
+let owner_of t r = (require_shard t).owner.(r)
+let shard_sched t s = (require_shard t).ctxs.(s).ssched
+let paths_for t r =
+  match t.shard with
+  | None -> t.paths
+  | Some sh -> sh.ctxs.(sh.owner.(r)).spaths
+
+let shard_traces t =
+  List.filter_map (fun c -> c.strace) (Array.to_list (require_shard t).ctxs)
+
+let shard_now t = Shard_exec.now (require_shard t).exec
+let shard_pending t = Shard_exec.pending (require_shard t).exec
+let shard_stats t = Shard_exec.stats (require_shard t).exec
+
+(* Replicated fault events execute once per shard; normalize the event
+   count so it reads as "events one sequential observer would have seen":
+   subtract every shard's replicas, then count shard 0's once. *)
+let note_replica t ~shard =
+  let sh = require_shard t in
+  sh.ctxs.(shard).s_rep_events <- sh.ctxs.(shard).s_rep_events + 1
+
+let shard_events t =
+  match t.shard with
+  | None -> Sched.events_executed t.sched
+  | Some sh ->
+    let rep = Array.fold_left (fun acc c -> acc + c.s_rep_events) 0 sh.ctxs in
+    Shard_exec.events_executed sh.exec - rep + sh.ctxs.(0).s_rep_events
+
+let run_shards ?at_barrier t ~cap =
+  let sh = require_shard t in
+  Shard_exec.run_phase sh.exec ~lookahead:sh.lookahead ~cap ~deliver:sh.deliver
+    ?at_barrier ()
+
+(* Per-router strided trace ids: router [r]'s k-th event gets id
+   [k * n + r].  Each router's ids are allocated by one domain in its
+   deterministic execution order, distinct routers can never collide, and
+   within one router allocation order is time order — so the merged
+   (time, id) sort and the cause links are shard-count invariant. *)
+let fresh_sid sh r =
+  let n = Array.length sh.sid in
+  let s = sh.sid.(r) in
+  sh.sid.(r) <- s + 1;
+  (s * n) + r
+
+(* Hash-based gray-link loss: a pure function of (salt, src, dst, send
+   seq), so the drop decision rides with the message instead of with a
+   shared RNG whose draw order no shard can observe. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let loss_draw sh ~src ~dst ~seq =
+  let h = mix64 (Int64.add sh.loss_salt (Int64.of_int src)) in
+  let h = mix64 (Int64.add h (Int64.of_int dst)) in
+  let h = mix64 (Int64.add h (Int64.of_int seq)) in
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+let deliverable_sharded t sh ctx ~src ~dst ~seq =
+  if not sh.faults_on then not t.failed.(dst)
+  else begin
+    let lost () =
+      ctx.s_lost <- ctx.s_lost + 1;
+      false
+    in
+    if t.failed.(dst) then lost ()
+    else if Hashtbl.mem ctx.s_severed (link_key src dst) then lost ()
+    else (
+      match Hashtbl.find_opt ctx.s_loss (link_key src dst) with
+      | Some p when loss_draw sh ~src ~dst ~seq < p -> lost ()
+      | Some _ | None -> true)
+  end
+
+let build_sharded ~shards ~owner ~lookahead ~rng ~config ?telemetry topo =
+  if shards < 1 then invalid_arg "Network.build_sharded: shards must be >= 1";
+  if lookahead <= 0.0 then invalid_arg "Network.build_sharded: lookahead must be positive";
+  let n = Topology.num_routers topo in
+  if Array.length owner <> n then
+    invalid_arg "Network.build_sharded: owner array size mismatch";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= shards then
+        invalid_arg "Network.build_sharded: owner out of range")
+    owner;
+  let sessions = compute_sessions topo in
+  let session_peers = Array.make n [] in
+  List.iter
+    (fun (u, v, _) ->
+      session_peers.(u) <- v :: session_peers.(u);
+      session_peers.(v) <- u :: session_peers.(v))
+    sessions;
+  Array.iteri (fun i l -> session_peers.(i) <- List.sort Int.compare l) session_peers;
+  let exec = Shard_exec.create ~shards ~compare:msg_compare in
+  let mk_trace () =
+    Option.map (fun tr -> Trace.create ~capacity:(Trace.capacity tr) ()) config.trace
+  in
+  let ctxs =
+    Array.init shards (fun sx ->
+        {
+          sx;
+          ssched = Shard_exec.sched exec sx;
+          spaths = Bgp_proto.Path.create_table ();
+          strace = mk_trace ();
+          s_adverts = 0;
+          s_withdrawals = 0;
+          s_session_downs = 0;
+          s_last_activity = 0.0;
+          s_lost = 0;
+          s_rep_events = 0;
+          s_severed = Hashtbl.create 16;
+          s_factor = Hashtbl.create 16;
+          s_loss = Hashtbl.create 16;
+          s_skew = Array.make n 0.0;
+        })
+  in
+  let sh =
+    {
+      exec;
+      owner = Array.copy owner;
+      ctxs;
+      sid = Array.make n 0;
+      mseq = Array.make n 0;
+      lookahead;
+      deliver = (fun _ _ -> ());
+      faults_on = false;
+      loss_salt = 0L;
+    }
+  in
+  let net =
+    {
+      topo;
+      config;
+      sched = ctxs.(0).ssched;
+      paths = ctxs.(0).spaths;
+      routers = [||];
+      (* Same split order as [build]: detection stream first, then one
+         stream per router in index order — so a router's RNG stream does
+         not depend on the shard layout. *)
+      detect_rng = Rng.split rng;
+      failed = Array.make n false;
+      sessions;
+      session_peers;
+      n_adverts = 0;
+      n_withdrawals = 0;
+      n_session_downs = 0;
+      last_activity = 0.0;
+      faults = None;
+      shard = Some sh;
+    }
+  in
+  let net = ref net in
+  let tracers =
+    Array.map
+      (fun ctx ->
+        Option.map
+          (fun trace ->
+            {
+              Router.on_processed =
+                (fun ~router ~src ~dest ~enqueued ~started ~cause ->
+                  let id = fresh_sid sh router in
+                  Trace.record trace
+                    (Trace.Processed
+                       {
+                         id;
+                         time = Sched.now ctx.ssched;
+                         router;
+                         src;
+                         dest;
+                         enqueued;
+                         started;
+                         cause;
+                       });
+                  id);
+              on_mrai_flush =
+                (fun ~router ~peer ~dest ~ready ~cause ->
+                  let id = fresh_sid sh router in
+                  Trace.record trace
+                    (Trace.Mrai_flush
+                       { id; time = Sched.now ctx.ssched; router; peer; dest; ready; cause });
+                  id);
+            })
+          ctx.strace)
+      ctxs
+  in
+  (* Every send — intra- or cross-shard — goes through the mailboxes, so
+     delivery order is decided once, at the barrier, by the layout-free
+     (arrival, src router, send seq) key. *)
+  let send ~src ~dst update =
+    let ctx = ctxs.(sh.owner.(src)) in
+    (match update with
+    | Types.Advertise _ -> ctx.s_adverts <- ctx.s_adverts + 1
+    | Types.Withdraw _ -> ctx.s_withdrawals <- ctx.s_withdrawals + 1);
+    let factor =
+      match Hashtbl.find_opt ctx.s_factor (link_key src dst) with
+      | Some x -> x
+      | None -> 1.0
+    in
+    let delay = Float.max 1e-6 ((config.link_delay *. factor) +. ctx.s_skew.(dst)) in
+    let seq = sh.mseq.(src) in
+    sh.mseq.(src) <- seq + 1;
+    let sent_id =
+      match ctx.strace with
+      | None -> Trace.no_cause
+      | Some trace ->
+        let id = fresh_sid sh src in
+        Trace.record trace
+          (Trace.Update_sent
+             {
+               id;
+               time = Sched.now ctx.ssched;
+               src;
+               dst;
+               update;
+               cause = Router.current_cause !net.routers.(src);
+             });
+        id
+    in
+    Shard_exec.post exec ~src:(sh.owner.(src)) ~dst:(sh.owner.(dst))
+      {
+        m_arrival = Sched.now ctx.ssched +. delay;
+        m_src = src;
+        m_dst = dst;
+        m_seq = seq;
+        m_update = update;
+        m_sent_id = sent_id;
+      }
+  in
+  let deliver d batch =
+    let ctx = ctxs.(d) in
+    Array.iter
+      (fun m ->
+        (* Cross-shard advertisements are re-interned into the receiving
+           shard's table; path identity never reaches route selection
+           (RIB ranking is structural), so rehoming is invisible. *)
+        let update =
+          if sh.owner.(m.m_src) = d then m.m_update
+          else
+            match m.m_update with
+            | Types.Withdraw _ as u -> u
+            | Types.Advertise { dest; path } ->
+              Types.Advertise
+                { dest; path = Bgp_proto.Path.of_list ctx.spaths (Bgp_proto.Path.hops path) }
+        in
+        ignore
+          (Sched.schedule_at ctx.ssched ~time:m.m_arrival (fun () ->
+               if deliverable_sharded !net sh ctx ~src:m.m_src ~dst:m.m_dst ~seq:m.m_seq
+               then begin
+                 match ctx.strace with
+                 | None -> Router.receive !net.routers.(m.m_dst) ~src:m.m_src update
+                 | Some trace ->
+                   let id = fresh_sid sh m.m_dst in
+                   Trace.record trace
+                     (Trace.Update_delivered
+                        {
+                          id;
+                          time = Sched.now ctx.ssched;
+                          src = m.m_src;
+                          dst = m.m_dst;
+                          update;
+                          cause = m.m_sent_id;
+                        });
+                   Router.receive !net.routers.(m.m_dst) ~cause:id ~src:m.m_src update
+               end)))
+      batch
+  in
+  sh.deliver <- deliver;
+  let routers =
+    Array.init n (fun i ->
+        let router_rng = Rng.split rng in
+        let ctx = ctxs.(sh.owner.(i)) in
+        let cb =
+          {
+            Router.send;
+            activity =
+              (fun ~time ->
+                let ctx = ctxs.(sh.owner.(i)) in
+                if time > ctx.s_last_activity then ctx.s_last_activity <- time);
+          }
+        in
+        Router.create ~sched:ctx.ssched ~rng:router_rng ~paths:ctx.spaths
+          ~config:config.bgp ~id:i
+          ~asn:topo.Topology.as_of_router.(i)
+          ~degree:(Topology.inter_as_degree topo i)
+          ?tracer:tracers.(sh.owner.(i))
+          cb)
+  in
+  net := { !net with routers };
+  List.iter
+    (fun (u, v, kind) ->
+      let rel_of a b =
+        match config.relationships with
+        | None -> None
+        | Some rels -> Relationships.relation rels ~from:a ~toward:b
+      in
+      Router.add_peer routers.(u) ~peer:v ~peer_as:topo.Topology.as_of_router.(v) ~kind
+        ?relationship:(rel_of u v) ();
+      Router.add_peer routers.(v) ~peer:u ~peer_as:topo.Topology.as_of_router.(u) ~kind
+        ?relationship:(rel_of v u) ())
+    sessions;
+  (match telemetry with
+  | None -> ()
+  | Some tele ->
+    let reg name kind read = Telemetry.register tele ~name ~kind read in
+    let counter name read = reg name Telemetry.Counter (fun () -> float_of_int (read ())) in
+    counter "net.adverts_sent" (fun () -> adverts_sent !net);
+    counter "net.withdrawals_sent" (fun () -> withdrawals_sent !net);
+    counter "net.messages_sent" (fun () -> messages_sent !net);
+    counter "net.session_downs" (fun () -> session_downs !net);
+    let router_metric name kind pick =
+      reg name kind (fun () -> float_of_int (pick (sum_metrics !net)))
+    in
+    router_metric "router.msgs_processed" Telemetry.Counter (fun m ->
+        m.Router.msgs_processed);
+    router_metric "queue.eliminated" Telemetry.Counter (fun m -> m.Router.eliminated);
+    router_metric "queue.max_depth" Telemetry.Gauge (fun m -> m.Router.max_queue);
+    router_metric "mrai.transitions" Telemetry.Counter (fun m ->
+        m.Router.mrai_transitions);
+    router_metric "mrai.max_level" Telemetry.Gauge (fun m -> m.Router.mrai_level);
+    router_metric "damping.suppressions" Telemetry.Counter (fun m ->
+        m.Router.damping_suppressions);
+    reg "sched.events" Telemetry.Gauge (fun () -> float_of_int (shard_events !net));
+    reg "sched.time" Telemetry.Gauge (fun () -> shard_now !net);
+    reg "path.interned" Telemetry.Gauge (fun () ->
+        float_of_int
+          (Array.fold_left
+             (fun acc c -> acc + Bgp_proto.Path.unique_count c.spaths)
+             0 ctxs));
+    reg "path.intern_hits" Telemetry.Counter (fun () ->
+        float_of_int
+          (Array.fold_left (fun acc c -> acc + Bgp_proto.Path.hit_count c.spaths) 0 ctxs)));
+  !net
+
+(* --- Sharded failure injection (orchestrator-time, between phases) -------- *)
+
+let inject_failure_sharded t ~at failure =
+  let sh = require_shard t in
+  let n = num_routers t in
+  let fail_ids = Array.make n Trace.no_cause in
+  for r = 0 to n - 1 do
+    if Failure.is_failed failure r && not t.failed.(r) then begin
+      t.failed.(r) <- true;
+      let ctx = sh.ctxs.(sh.owner.(r)) in
+      (match ctx.strace with
+      | Some trace ->
+        let id = fresh_sid sh r in
+        fail_ids.(r) <- id;
+        Trace.record trace (Trace.Router_failed { id; time = at; router = r })
+      | None -> ());
+      Router.fail t.routers.(r)
+    end
+  done;
+  (* Same [detect_rng] stream, drawn in the same global (failed router,
+     peer) order as the sequential path — layout-independent by
+     construction. *)
+  for r = 0 to n - 1 do
+    if Failure.is_failed failure r then
+      List.iter
+        (fun peer ->
+          if not t.failed.(peer) then begin
+            let d = detection_sample t in
+            let ctx = sh.ctxs.(sh.owner.(peer)) in
+            ignore
+              (Sched.schedule_at ctx.ssched ~time:(at +. d) (fun () ->
+                   if not t.failed.(peer) then begin
+                     ctx.s_session_downs <- ctx.s_session_downs + 1;
+                     match ctx.strace with
+                     | Some trace ->
+                       let down_id = fresh_sid sh peer in
+                       Trace.record trace
+                         (Trace.Session_down
+                            {
+                              id = down_id;
+                              time = Sched.now ctx.ssched;
+                              router = peer;
+                              peer = r;
+                              cause = fail_ids.(r);
+                            });
+                       Router.peer_down t.routers.(peer) ~cause:down_id r
+                     | None -> Router.peer_down t.routers.(peer) r
+                   end))
+          end)
+        t.session_peers.(r)
+  done
+
+let inject_link_failures_sharded t ~at links =
+  let sh = require_shard t in
+  List.iter
+    (fun (u, v) ->
+      let notify a b =
+        if not t.failed.(a) then begin
+          let ctx = sh.ctxs.(sh.owner.(a)) in
+          ignore
+            (Sched.schedule_at ctx.ssched ~time:(at +. t.config.detection_delay)
+               (fun () ->
+                 if not t.failed.(a) then begin
+                   ctx.s_session_downs <- ctx.s_session_downs + 1;
+                   match ctx.strace with
+                   | Some trace ->
+                     let down_id = fresh_sid sh a in
+                     Trace.record trace
+                       (Trace.Session_down
+                          {
+                            id = down_id;
+                            time = Sched.now ctx.ssched;
+                            router = a;
+                            peer = b;
+                            cause = Trace.no_cause;
+                          });
+                     Router.peer_down t.routers.(a) ~cause:down_id b
+                   | None -> Router.peer_down t.routers.(a) b
+                 end))
+        end
+      in
+      notify u v;
+      notify v u)
+    links
+
+(* --- Sharded fault hooks (replica-local) ---------------------------------- *)
+
+(* Each hook below runs once per shard (the injector replicates fault
+   events into every shard's scheduler) and touches only shard-local
+   tables; router notifications fire only on the shard owning the
+   affected router, so exactly one shard acts on each session endpoint. *)
+
+let record_fault_replica t ~shard ~id ~label ~router ~cause =
+  let sh = require_shard t in
+  if sh.owner.(router) = shard then
+    match sh.ctxs.(shard).strace with
+    | Some trace ->
+      Trace.record trace
+        (Trace.Fault { id; time = Sched.now sh.ctxs.(shard).ssched; label; router; cause })
+    | None -> ()
+
+let notify_session_sharded t sh ~shard ~dir ~cause a b =
+  if sh.owner.(a) = shard && not t.failed.(a) then begin
+    let ctx = sh.ctxs.(shard) in
+    ignore
+      (Sched.schedule ctx.ssched ~delay:t.config.detection_delay (fun () ->
+           if not t.failed.(a) then
+             match dir with
+             | `Down ->
+               ctx.s_session_downs <- ctx.s_session_downs + 1;
+               (match ctx.strace with
+               | Some trace ->
+                 let down_id = fresh_sid sh a in
+                 Trace.record trace
+                   (Trace.Session_down
+                      { id = down_id; time = Sched.now ctx.ssched; router = a; peer = b; cause });
+                 Router.peer_down t.routers.(a) ~cause:down_id b
+               | None -> Router.peer_down t.routers.(a) b)
+             | `Up -> (
+               match ctx.strace with
+               | Some trace ->
+                 let up_id = fresh_sid sh a in
+                 Trace.record trace
+                   (Trace.Session_up
+                      { id = up_id; time = Sched.now ctx.ssched; router = a; peer = b; cause });
+                 Router.peer_up t.routers.(a) ~cause:up_id b
+               | None -> Router.peer_up t.routers.(a) b)))
+  end
+
+let sever_link_sharded t ~shard ~cause ~u ~v =
+  let sh = require_shard t in
+  let ctx = sh.ctxs.(shard) in
+  let k = link_key u v in
+  let count = Option.value ~default:0 (Hashtbl.find_opt ctx.s_severed k) in
+  Hashtbl.replace ctx.s_severed k (count + 1);
+  if count = 0 then begin
+    notify_session_sharded t sh ~shard ~dir:`Down ~cause u v;
+    notify_session_sharded t sh ~shard ~dir:`Down ~cause v u
+  end
+
+let restore_link_sharded t ~shard ~cause ~u ~v =
+  let sh = require_shard t in
+  let ctx = sh.ctxs.(shard) in
+  let k = link_key u v in
+  match Hashtbl.find_opt ctx.s_severed k with
+  | None -> ()
+  | Some 1 ->
+    Hashtbl.remove ctx.s_severed k;
+    notify_session_sharded t sh ~shard ~dir:`Up ~cause u v;
+    notify_session_sharded t sh ~shard ~dir:`Up ~cause v u
+  | Some c -> Hashtbl.replace ctx.s_severed k (c - 1)
+
+let set_link_factor_sharded t ~shard ~u ~v factor =
+  if factor <= 0.0 then invalid_arg "Network.set_link_factor: factor must be positive";
+  let ctx = (require_shard t).ctxs.(shard) in
+  if factor = 1.0 then Hashtbl.remove ctx.s_factor (link_key u v)
+  else Hashtbl.replace ctx.s_factor (link_key u v) factor
+
+let set_link_loss_sharded t ~shard ~u ~v p =
+  if p < 0.0 || p >= 1.0 then
+    invalid_arg "Network.set_link_loss: probability must be in [0, 1)";
+  let ctx = (require_shard t).ctxs.(shard) in
+  if p = 0.0 then Hashtbl.remove ctx.s_loss (link_key u v)
+  else Hashtbl.replace ctx.s_loss (link_key u v) p
+
+let set_clock_skew_sharded t ~shard ~router skew =
+  (require_shard t).ctxs.(shard).s_skew.(router) <- skew
 

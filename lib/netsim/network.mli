@@ -171,10 +171,11 @@ val overloaded_routers : t -> threshold:float -> int list
 
 (** {2 Telemetry probes} *)
 
-val probe_tick : t -> Telemetry.t -> unit
+val probe_tick : ?time:float -> t -> Telemetry.t -> unit
 (** Record one probe tick: a {!Telemetry.row} per surviving router at the
-    current simulated time.  Read-only — draws no randomness and
-    schedules nothing. *)
+    current simulated time (or [time] — the sharded runner's window
+    start, since no single scheduler clock exists there).  Read-only —
+    draws no randomness and schedules nothing. *)
 
 val start_probes : t -> Telemetry.t -> unit
 (** Begin the periodic probe chain at the configured interval.  Each
@@ -182,3 +183,99 @@ val start_probes : t -> Telemetry.t -> unit
     never keeps the scheduler queue alive: the queue still drains at
     convergence and the runner's converged-iff-drained check is
     unaffected (the executed-events count does grow). *)
+
+(** {2 Sharded execution}
+
+    A network built with {!build_sharded} partitions its routers across
+    [shards] OCaml 5 domains ({!Bgp_engine.Shard_exec}): router state,
+    sessions, path tables, trace slices, counters and fault tables are
+    all shard-local, and {e every} send goes through the executor's
+    mailboxes so deliveries are ordered by the layout-free
+    [(arrival time, src router, send seq)] key — results are
+    bit-identical for any shard count (but not vs {!build}, whose
+    direct-scheduling machinery is preserved untouched).  Between
+    phases the orchestrator (single-threaded) injects failures and
+    merges traces.  See DESIGN.md §11. *)
+
+val build_sharded :
+  shards:int ->
+  owner:int array ->
+  lookahead:float ->
+  rng:Bgp_engine.Rng.t ->
+  config:config ->
+  ?telemetry:Telemetry.t ->
+  Bgp_topology.Topology.t ->
+  t
+(** [owner.(r)] is router [r]'s shard (from {!Bgp_topology.Partition});
+    [lookahead] must be a positive lower bound on every message's
+    delivery delay — [link_delay] scaled down by the smallest jitter
+    factor the fault schedule can apply ({!Fault_injector.lookahead}).
+    The RNG split order matches {!build} (detection stream, then one per
+    router), so router streams do not depend on the layout.
+    @raise Invalid_argument on a bad [shards]/[owner]/[lookahead]. *)
+
+val is_sharded : t -> bool
+
+val shard_count : t -> int
+(** [1] for a {!build} network. *)
+
+val owner_of : t -> int -> int
+val shard_sched : t -> int -> Bgp_engine.Scheduler.t
+
+val paths_for : t -> int -> Bgp_proto.Path.table
+(** Router [r]'s interning table: its shard's (equals {!paths} when
+    unsharded) — what the analytic warm-up must intern into. *)
+
+val shard_traces : t -> Trace.t list
+(** The per-shard trace slices (empty list when untraced); merge with
+    {!Trace.merge_renumber}. *)
+
+val run_shards : ?at_barrier:(now:float -> unit) -> t -> cap:float -> unit
+(** Run one conservative parallel phase until no shard holds an event at
+    time [<= cap] ({!Bgp_engine.Shard_exec.run_phase}).  [at_barrier]
+    runs single-threaded once per window — the telemetry-probe hook. *)
+
+val shard_now : t -> float
+(** Max shard clock. *)
+
+val shard_pending : t -> int
+(** Total live events across shards. *)
+
+val shard_events : t -> int
+(** Executed events, normalized so replicated fault events count once
+    (as a sequential observer would see them).  Falls back to the
+    scheduler's count when unsharded. *)
+
+val shard_stats : t -> Bgp_engine.Shard_exec.stats
+
+val inject_failure_sharded : t -> at:float -> Bgp_topology.Failure.t -> unit
+(** {!inject_failure} for a sharded network, called by the orchestrator
+    between phases: [at] is the injection time (must be [>=] every shard
+    clock); detections are scheduled onto each surviving peer's own
+    shard, with the hold-timer samples drawn in the same global order as
+    the sequential path. *)
+
+val inject_link_failures_sharded : t -> at:float -> (int * int) list -> unit
+
+(** {3 Replica-local fault hooks}
+
+    {!Fault_injector.install_sharded} replicates every fault event into
+    every shard's scheduler with preassigned trace ids, so each shard's
+    fault tables evolve identically without cross-shard reads.  Each
+    hook touches only shard [shard]'s tables; session notifications and
+    trace records fire only on the shard owning the affected router. *)
+
+val note_replica : t -> shard:int -> unit
+(** Count one replicated fault event executing on [shard], for the
+    {!shard_events} normalization. *)
+
+val record_fault_replica :
+  t -> shard:int -> id:int -> label:string -> router:int -> cause:int -> unit
+(** Record a [Fault] event with the preassigned [id] — only on the shard
+    owning [router] (no-op elsewhere or when untraced). *)
+
+val sever_link_sharded : t -> shard:int -> cause:int -> u:int -> v:int -> unit
+val restore_link_sharded : t -> shard:int -> cause:int -> u:int -> v:int -> unit
+val set_link_factor_sharded : t -> shard:int -> u:int -> v:int -> float -> unit
+val set_link_loss_sharded : t -> shard:int -> u:int -> v:int -> float -> unit
+val set_clock_skew_sharded : t -> shard:int -> router:int -> float -> unit

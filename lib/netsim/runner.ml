@@ -29,12 +29,24 @@ type scenario = {
   warmup : warmup_mode;
   policies : bool;
   faults : Fault_injector.schedule option;
+  sharding : int option;
 }
 
 let scenario ?(net = Network.config_default Bgp_proto.Config.default)
     ?(failure = No_failure) ?(seed = 1) ?(sim_time_cap = 36000.0) ?(validate = false)
-    ?(warmup = Simulated) ?(policies = false) ?faults topo =
-  { topo; net; failure; seed; sim_time_cap; validate; warmup; policies; faults }
+    ?(warmup = Simulated) ?(policies = false) ?faults ?sharding topo =
+  {
+    topo;
+    net;
+    failure;
+    seed;
+    sim_time_cap;
+    validate;
+    warmup;
+    policies;
+    faults;
+    sharding;
+  }
 
 type result = {
   converged : bool;
@@ -65,7 +77,7 @@ let make_failure topo = function
   | Routers l -> Failure.of_list topo l
   | Links _ | No_failure -> Failure.none topo
 
-let run_gen ?inspect s =
+let run_sequential ?inspect s =
   let root = Rng.create s.seed in
   let rng_topo = Rng.split root in
   let rng_net = Rng.split root in
@@ -183,6 +195,156 @@ let run_gen ?inspect s =
     report = Option.map Telemetry.report tele;
     attribution;
   }
+
+(* --- Sharded run ---------------------------------------------------------- *)
+
+(* Same experiment, executed across OCaml 5 domains via the conservative
+   windowed executor.  The RNG split discipline matches [run_sequential]
+   exactly (root -> topo, net, faults-if-scheduled), and everything the
+   shards do is keyed on layout-free values, so the result is
+   bit-identical for any shard count — the test battery pins shards in
+   {1, 2, 4} against each other.  It is NOT bit-identical to the
+   sequential path (different delivery machinery); the sequential path
+   and its goldens stay untouched. *)
+let run_sharded ?inspect s ~shards =
+  if shards < 1 then invalid_arg "Runner.run: sharding must be >= 1";
+  let root = Rng.create s.seed in
+  let rng_topo = Rng.split root in
+  let rng_net = Rng.split root in
+  let rng_faults = Option.map (fun _ -> Rng.split root) s.faults in
+  let topo = make_topology rng_topo s.topo in
+  (match Topology.validate topo with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.run: bad topology: " ^ msg));
+  let net_config =
+    if s.policies then
+      { s.net with Network.relationships = Some (Relationships.infer topo) }
+    else s.net
+  in
+  let tele = Option.map Telemetry.create net_config.Network.telemetry in
+  let part = Bgp_topology.Partition.compute ~shards ~seed:s.seed topo in
+  let lookahead =
+    Fault_injector.lookahead ~link_delay:net_config.Network.link_delay
+      (Option.value ~default:[] s.faults)
+  in
+  let net =
+    Network.build_sharded ~shards ~owner:part.Bgp_topology.Partition.owner ~lookahead
+      ~rng:rng_net ~config:net_config ?telemetry:tele topo
+  in
+  (* Probe ticks ride the barrier windows: [at_barrier] runs
+     single-threaded once per window with the window's start time, the
+     only point where cross-shard router state is stable.  Tick times are
+     therefore window starts (shard-count invariant), not the sequential
+     path's exact interval grid. *)
+  let next_probe = ref infinity in
+  let probe_hook t ~now =
+    if now >= !next_probe then begin
+      Network.probe_tick ~time:now net t;
+      next_probe := now +. (Telemetry.conf t).Telemetry.probe_interval
+    end
+  in
+  (match s.warmup with
+  | Simulated ->
+    Network.start_all net;
+    let at_barrier =
+      match tele with
+      | Some t when (Telemetry.conf t).Telemetry.probe_warmup ->
+        next_probe := (Telemetry.conf t).Telemetry.probe_interval;
+        Some (probe_hook t)
+      | Some _ | None -> None
+    in
+    Network.run_shards ?at_barrier net ~cap:s.sim_time_cap
+  | Analytic ->
+    if s.policies then invalid_arg "Runner.run: analytic warm-up is policy-free only";
+    Warmup.install net);
+  let warmup_converged = Network.shard_pending net = 0 in
+  let warmup_delay = Network.last_activity net in
+  let warmup_messages = Network.messages_sent net in
+  let warmup_adverts = Network.adverts_sent net in
+  let warmup_withdrawals = Network.withdrawals_sent net in
+  (if s.validate && warmup_converged then
+     Validate.check_exn net ~failure:(Failure.none topo));
+  (* Phase 2: the orchestrator (single-threaded, every domain parked)
+     injects the failure at a time strictly above every shard clock, then
+     releases the shards. *)
+  let failure = make_failure topo s.failure in
+  let t_fail = Network.shard_now net +. 1.0 in
+  Network.inject_failure_sharded net ~at:t_fail failure;
+  (match s.failure with
+  | Links links -> Network.inject_link_failures_sharded net ~at:t_fail links
+  | Fraction _ | Routers _ | No_failure -> ());
+  (match (s.faults, rng_faults) with
+  | Some schedule, Some rng ->
+    Network.enable_faults net ~rng;
+    Fault_injector.install_sharded net ~t_fail schedule
+  | _ -> ());
+  let at_barrier =
+    match tele with
+    | Some t ->
+      Telemetry.set_fail_time t t_fail;
+      Network.probe_tick ~time:t_fail net t;
+      next_probe := t_fail +. (Telemetry.conf t).Telemetry.probe_interval;
+      Some (probe_hook t)
+    | None -> None
+  in
+  Network.run_shards ?at_barrier net ~cap:(t_fail +. s.sim_time_cap);
+  (match inspect with Some f -> f net | None -> ());
+  let converged = warmup_converged && Network.shard_pending net = 0 in
+  let last = Network.last_activity net in
+  let convergence_delay = Float.max 0.0 (last -. t_fail) in
+  let issues =
+    match s.failure with
+    | Links _ -> []
+    | Fraction _ | Routers _ | No_failure ->
+      if s.validate && converged then Validate.check net ~failure else []
+  in
+  let metrics = Network.sum_metrics net in
+  (* Merge the per-shard trace slices into the user's trace: sort by
+     (time, strided id), renumber densely, rewrite causes — the result
+     reads exactly like a sequential trace and is shard-count invariant. *)
+  let attribution =
+    Option.map
+      (fun user ->
+        let merged =
+          Trace.merge_renumber (List.map Trace.events (Network.shard_traces net))
+        in
+        List.iter (Trace.record user) merged;
+        Attribution.analyze ~t_fail merged)
+      net_config.Network.trace
+  in
+  (match (tele, attribution) with
+  | Some t, Some attr ->
+    let reg name v = Telemetry.register t ~name ~kind:Telemetry.Gauge (fun () -> v) in
+    let open Attribution in
+    reg "attr.queueing" attr.totals.queueing;
+    reg "attr.processing" attr.totals.processing;
+    reg "attr.mrai_hold" attr.totals.mrai_hold;
+    reg "attr.propagation" attr.totals.propagation;
+    reg "attr.critical_hops" (float_of_int (List.length attr.critical_path))
+  | _ -> ());
+  {
+    converged;
+    warmup_delay;
+    convergence_delay;
+    messages = Network.messages_sent net - warmup_messages;
+    adverts = Network.adverts_sent net - warmup_adverts;
+    withdrawals = Network.withdrawals_sent net - warmup_withdrawals;
+    warmup_messages;
+    eliminated = metrics.Bgp_proto.Router.eliminated;
+    max_queue = metrics.Bgp_proto.Router.max_queue;
+    mrai_transitions = metrics.Bgp_proto.Router.mrai_transitions;
+    events = Network.shard_events net;
+    lost_messages = Network.lost_messages net;
+    survivors_connected = Failure.survivors_connected topo failure;
+    issues;
+    report = Option.map Telemetry.report tele;
+    attribution;
+  }
+
+let run_gen ?inspect s =
+  match s.sharding with
+  | Some shards -> run_sharded ?inspect s ~shards
+  | None -> run_sequential ?inspect s
 
 (* [run] keeps the plain [scenario -> result] arrow: it is passed
    first-class to [Pool.map], which an optional argument would break. *)

@@ -37,6 +37,14 @@ type scenario = {
       (** chaos schedule installed at the failure instant (onsets are
           offsets from [t_fail]); [None] leaves the fault layer disabled
           and the run bit-identical to pre-chaos builds *)
+  sharding : int option;
+      (** [Some k]: run the single trial across [k] OCaml 5 domains
+          ({!Network.build_sharded} over a {!Bgp_topology.Partition},
+          conservative barrier-windowed execution with the link delay as
+          lookahead).  Results are bit-identical for every [k >= 1] —
+          but produced by different machinery than [None], which keeps
+          the historical sequential path (and its goldens) untouched.
+          See DESIGN.md §11. *)
 }
 
 val scenario :
@@ -48,11 +56,12 @@ val scenario :
   ?warmup:warmup_mode ->
   ?policies:bool ->
   ?faults:Fault_injector.schedule ->
+  ?sharding:int ->
   topo_spec ->
   scenario
 (** Defaults: paper BGP config ({!Bgp_proto.Config.default}), no failure,
     seed 1, cap 36000 s, validation off, simulated warm-up, no policies,
-    no fault schedule. *)
+    no fault schedule, no sharding (sequential execution). *)
 
 type result = {
   converged : bool;

@@ -270,6 +270,45 @@ let event_of_json ~paths line =
       Fault { id; time; label = str "label"; router = int "router"; cause = int "cause" }
     | kind -> raise (J.Bad (Printf.sprintf "unknown event type %S" kind))
 
+(* --- Shard-trace merge ----------------------------------------------------- *)
+
+let with_ids ~id ~cause = function
+  | Update_sent r -> Update_sent { r with id; cause }
+  | Update_delivered r -> Update_delivered { r with id; cause }
+  | Processed r -> Processed { r with id; cause }
+  | Mrai_flush r -> Mrai_flush { r with id; cause }
+  | Router_failed r -> Router_failed { r with id }
+  | Session_down r -> Session_down { r with id; cause }
+  | Session_up r -> Session_up { r with id; cause }
+  | Fault r -> Fault { r with id; cause }
+
+(* Merge per-shard event lists into one sequential-looking trace.  Input
+   ids must be globally unique with ids allocated in causal order within
+   each (time-tied) group — the sharded network's strided per-router ids
+   and its high fault-id range satisfy both.  The merge sorts by
+   (time, id), renumbers densely from 0 and rewrites cause pointers; a
+   cause whose event is missing (evicted from a full per-shard ring)
+   degrades to [no_cause], exactly like a sequential ring overflow. *)
+let merge_renumber lists =
+  let arr = Array.of_list (List.concat lists) in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare (time_of a) (time_of b) in
+      if c <> 0 then c else Int.compare (id_of a) (id_of b))
+    arr;
+  let remap = Hashtbl.create (2 * Array.length arr) in
+  Array.iteri (fun i e -> Hashtbl.replace remap (id_of e) i) arr;
+  Array.to_list
+    (Array.mapi
+       (fun i e ->
+         let cause =
+           let c = cause_of e in
+           if c = no_cause then no_cause
+           else (match Hashtbl.find_opt remap c with Some j -> j | None -> no_cause)
+         in
+         with_ids ~id:i ~cause e)
+       arr)
+
 (* --- Run-meta line --------------------------------------------------------- *)
 
 (* One JSONL line carrying what a trace file cannot reconstruct from its
@@ -344,6 +383,7 @@ let record t event =
   t.next <- (t.next + 1) mod t.capacity
 
 let length t = t.size
+let capacity t = t.capacity
 let dropped t = t.dropped
 let spilled t = t.spilled
 let spill_path t = t.spill

@@ -111,6 +111,16 @@ val terminals_by_dest : event list -> (int * event) list
 
 val pp_event : Format.formatter -> event -> unit
 
+val merge_renumber : event list list -> event list
+(** Merge per-shard event lists into one sequential-looking trace:
+    events sorted by [(time, id)], ids renumbered densely from [0],
+    cause pointers rewritten through the renumbering (a cause whose
+    event is absent — evicted from a full shard ring — degrades to
+    [no_cause]).  Requires globally-unique input ids allocated in causal
+    order within each simultaneous group, which the sharded network's
+    strided per-router ids guarantee; under that contract the result is
+    bit-identical for any shard count.  See DESIGN.md §11. *)
+
 type t
 
 val create : ?capacity:int -> ?spill:string -> unit -> t
@@ -127,6 +137,9 @@ val record : t -> event -> unit
 
 val length : t -> int
 (** Events currently held in memory. *)
+
+val capacity : t -> int
+(** The ring capacity [create] was given. *)
 
 val dropped : t -> int
 val spilled : t -> int

@@ -29,10 +29,9 @@ let rank_of label = Rib.packed_rank (best_of label)
    eBGP-over-iBGP, then peer id) are strictly monotone along session
    edges, so settling in rank order computes the unique fixpoint of
    best(v) = min over peers p of import(export(best(p))). *)
-let settle net adj ~config ~dest =
+let settle net adj ~config ~paths ~dest =
   let topo = Network.topology net in
   let n = Network.num_routers net in
-  let paths = Network.paths net in
   let origin = Bgp_proto.Config.origin_as config ~dest in
   let best : label option array = Array.make n None in
   let settled = Array.make n false in
@@ -88,13 +87,19 @@ let settle net adj ~config ~dest =
   drain ();
   best
 
+(* Scratch interning table for a sharded network: the settling pass is
+   orchestrator-side and must not touch any shard's table (results are
+   rehomed per owner at install time). *)
+let settle_table net =
+  if Network.is_sharded net then Bgp_proto.Path.create_table () else Network.paths net
+
 let best_paths net ~dest =
   let adj = session_adjacency net in
   let config =
     (* All routers share one protocol config in this simulator. *)
     Network.bgp_config net
   in
-  let best = settle net adj ~config ~dest in
+  let best = settle net adj ~config ~paths:(settle_table net) ~dest in
   Array.map
     (function
       | None -> None
@@ -111,9 +116,17 @@ let install net =
   let n = Network.num_routers net in
   let adj = session_adjacency net in
   let config = Network.bgp_config net in
-  let paths = Network.paths net in
+  let paths = settle_table net in
+  (* Sharded: every path a router keeps must live in its own shard's
+     interning table (rank keys are structural, so rehoming changes no
+     decision). *)
+  let rehome =
+    if Network.is_sharded net then fun u p ->
+      Bgp_proto.Path.of_list (Network.paths_for net u) (Bgp_proto.Path.hops p)
+    else fun _ p -> p
+  in
   for dest = 0 to (topo.Topology.n_ases * config.Bgp_proto.Config.prefixes_per_as) - 1 do
-    let best = settle net adj ~config ~dest in
+    let best = settle net adj ~config ~paths ~dest in
     let origin = Bgp_proto.Config.origin_as config ~dest in
     (* Adj-RIB-In of u from peer p = p's export; Adj-RIB-Out of p toward u
        likewise — both derive from the settled selections through the same
@@ -130,14 +143,14 @@ let install net =
                ~peer_as:own_as ~best:(Option.map best_of best.(p)) ()
            with
           | Some path when not (Types.path_contains path own_as) ->
-            entries := (p, kind, path) :: !entries
+            entries := (p, kind, rehome u path) :: !entries
           | Some _ | None -> ());
           (* What u told p (export side). *)
           match
             Export.target ~paths ~config ~own_as ~peer_kind:kind ~peer_as
               ~best:(Option.map best_of best.(u)) ()
           with
-          | Some path -> advertised := (p, path) :: !advertised
+          | Some path -> advertised := (p, rehome u path) :: !advertised
           | None -> ())
         adj.(u);
       Router.warm_install (Network.router net u) ~dest

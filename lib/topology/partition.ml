@@ -1,0 +1,276 @@
+module Rng = Bgp_engine.Rng
+
+type t = {
+  shards : int;
+  owner : int array;
+  as_owner : int array;
+  sizes : int array;
+  cut_edges : int;
+  total_edges : int;
+}
+
+(* AS-level view: per-AS router weight and weighted adjacency (number of
+   inter-AS links between each AS pair — each such link is one eBGP
+   session). *)
+type as_graph = {
+  n_ases : int;
+  weight : int array;  (* routers per AS *)
+  adj : (int * int) list array;  (* AS -> (neighbour AS, link count), sorted *)
+  total_links : int;
+}
+
+let as_graph (topo : Topology.t) =
+  let n_ases = topo.Topology.n_ases in
+  let weight = Array.make n_ases 0 in
+  Array.iter (fun a -> weight.(a) <- weight.(a) + 1) topo.Topology.as_of_router;
+  let pair = Hashtbl.create 256 in
+  let total = ref 0 in
+  Graph.fold_edges
+    (fun u v () ->
+      let a = topo.Topology.as_of_router.(u) and b = topo.Topology.as_of_router.(v) in
+      if a <> b then begin
+        incr total;
+        let key = if a < b then (a, b) else (b, a) in
+        Hashtbl.replace pair key (1 + Option.value ~default:0 (Hashtbl.find_opt pair key))
+      end)
+    topo.Topology.graph ();
+  let adj = Array.make n_ases [] in
+  Hashtbl.iter
+    (fun (a, b) w ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    pair;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { n_ases; weight; adj; total_links = !total }
+
+let cut_of g as_owner =
+  let cut = ref 0 in
+  Array.iteri
+    (fun a neighbours ->
+      List.iter
+        (fun (b, w) -> if a < b && as_owner.(a) <> as_owner.(b) then cut := !cut + w)
+        neighbours)
+    g.adj;
+  !cut
+
+let finish (topo : Topology.t) g ~shards as_owner =
+  let n = Topology.num_routers topo in
+  let owner = Array.make n 0 in
+  for r = 0 to n - 1 do
+    owner.(r) <- as_owner.(topo.Topology.as_of_router.(r))
+  done;
+  let sizes = Array.make shards 0 in
+  Array.iter (fun s -> sizes.(s) <- sizes.(s) + 1) owner;
+  {
+    shards;
+    owner;
+    as_owner;
+    sizes;
+    cut_edges = cut_of g as_owner;
+    total_edges = g.total_links;
+  }
+
+let bound_of ~balance ~shards ~total ~w_max =
+  let ideal = float_of_int total /. float_of_int shards in
+  Stdlib.max
+    (int_of_float (Float.ceil ((1.0 +. balance) *. ideal)))
+    ((total / shards) + w_max)
+
+let max_weight_bound ?(balance = 0.1) ~shards topo =
+  let g = as_graph topo in
+  let w_max = Array.fold_left Stdlib.max 0 g.weight in
+  bound_of ~balance ~shards ~total:(Topology.num_routers topo) ~w_max
+
+let round_robin ~shards (topo : Topology.t) =
+  if shards < 1 then invalid_arg "Partition.round_robin: shards must be >= 1";
+  let g = as_graph topo in
+  let as_owner = Array.init g.n_ases (fun a -> a mod shards) in
+  finish topo g ~shards as_owner
+
+(* Greedy BFS region growing: each shard in turn claims the unassigned
+   AS most strongly attached to it (heaviest link weight, then lowest AS
+   id), seeded from a random unassigned AS, until it reaches its share
+   of the remaining weight.  Strict determinism: all ties break on ids,
+   and the RNG is derived from the caller's seed alone. *)
+let grow g ~shards ~rng ~bound =
+  let as_owner = Array.make g.n_ases (-1) in
+  let load = Array.make shards 0 in
+  let unassigned = ref g.n_ases in
+  let remaining_weight = ref (Array.fold_left ( + ) 0 g.weight) in
+  for s = 0 to shards - 1 do
+    if !unassigned > 0 then begin
+      let target =
+        (* This shard's fair share of what is left. *)
+        int_of_float
+          (Float.ceil (float_of_int !remaining_weight /. float_of_int (shards - s)))
+      in
+      (* attachment.(a): total link weight from AS a to the region. *)
+      let attachment = Array.make g.n_ases 0 in
+      let pick_seed () =
+        let idx = ref (Rng.int rng !unassigned) in
+        let found = ref (-1) in
+        (try
+           for a = 0 to g.n_ases - 1 do
+             if as_owner.(a) < 0 then
+               if !idx = 0 then begin
+                 found := a;
+                 raise Exit
+               end
+               else decr idx
+           done
+         with Exit -> ());
+        !found
+      in
+      let claim a =
+        as_owner.(a) <- s;
+        load.(s) <- load.(s) + g.weight.(a);
+        decr unassigned;
+        remaining_weight := !remaining_weight - g.weight.(a);
+        List.iter
+          (fun (b, w) -> if as_owner.(b) < 0 then attachment.(b) <- attachment.(b) + w)
+          g.adj.(a)
+      in
+      let best_frontier () =
+        let best = ref (-1) and best_w = ref 0 in
+        Array.iteri
+          (fun a w ->
+            if w > 0 && as_owner.(a) < 0 && w > !best_w then begin
+              best := a;
+              best_w := w
+            end)
+          attachment;
+        !best
+      in
+      claim (pick_seed ());
+      let continue = ref true in
+      while !continue && !unassigned > 0 && load.(s) < target do
+        let next =
+          match best_frontier () with
+          | -1 -> if s = shards - 1 then pick_seed () else -1
+          | a -> a
+        in
+        if next < 0 || load.(s) + g.weight.(next) > bound then continue := false
+        else claim next
+      done;
+      (* The last shard takes every leftover (bound permitting — spill
+         into the lightest shard otherwise, keeping the provable
+         floor(n/k) + w_max bound). *)
+      if s = shards - 1 then
+        for a = 0 to g.n_ases - 1 do
+          if as_owner.(a) < 0 then begin
+            let dst =
+              if load.(s) + g.weight.(a) <= bound then s
+              else begin
+                let lightest = ref 0 in
+                for j = 1 to shards - 1 do
+                  if load.(j) < load.(!lightest) then lightest := j
+                done;
+                !lightest
+              end
+            in
+            as_owner.(a) <- dst;
+            load.(dst) <- load.(dst) + g.weight.(a)
+          end
+        done
+    end
+  done;
+  (* Orphans left by exhausted frontiers on non-final shards. *)
+  for a = 0 to g.n_ases - 1 do
+    if as_owner.(a) < 0 then begin
+      let lightest = ref 0 in
+      for j = 1 to shards - 1 do
+        if load.(j) < load.(!lightest) then lightest := j
+      done;
+      as_owner.(a) <- !lightest;
+      load.(!lightest) <- load.(!lightest) + g.weight.(a)
+    end
+  done;
+  (as_owner, load)
+
+(* Boundary refinement: move an AS to the neighbouring shard with the
+   best cut gain when the balance bound allows it.  A few passes in AS
+   order; deterministic because the scan order and tie-breaks are. *)
+let refine g ~shards ~bound as_owner load =
+  let passes = 4 in
+  let changed = ref true in
+  let pass = ref 0 in
+  while !changed && !pass < passes do
+    changed := false;
+    incr pass;
+    for a = 0 to g.n_ases - 1 do
+      if g.adj.(a) <> [] then begin
+        let own = as_owner.(a) in
+        (* Link weight from [a] into each shard. *)
+        let towards = Hashtbl.create 8 in
+        List.iter
+          (fun (b, w) ->
+            let s = as_owner.(b) in
+            Hashtbl.replace towards s (w + Option.value ~default:0 (Hashtbl.find_opt towards s)))
+          g.adj.(a);
+        let home = Option.value ~default:0 (Hashtbl.find_opt towards own) in
+        let best_s = ref own and best_gain = ref 0 in
+        for s = 0 to shards - 1 do
+          if s <> own then
+            match Hashtbl.find_opt towards s with
+            | Some w ->
+              let gain = w - home in
+              if
+                (gain > !best_gain || (gain = !best_gain && gain > 0 && s < !best_s))
+                && load.(s) + g.weight.(a) <= bound
+              then begin
+                best_gain := gain;
+                best_s := s
+              end
+            | None -> ()
+        done;
+        if !best_s <> own then begin
+          as_owner.(a) <- !best_s;
+          load.(own) <- load.(own) - g.weight.(a);
+          load.(!best_s) <- load.(!best_s) + g.weight.(a);
+          changed := true
+        end
+      end
+    done
+  done
+
+let compute ?(balance = 0.1) ~shards ~seed (topo : Topology.t) =
+  if shards < 1 then invalid_arg "Partition.compute: shards must be >= 1";
+  if balance < 0.0 then invalid_arg "Partition.compute: balance must be >= 0";
+  let g = as_graph topo in
+  if shards = 1 then finish topo g ~shards (Array.make g.n_ases 0)
+  else begin
+    let w_max = Array.fold_left Stdlib.max 0 g.weight in
+    let bound =
+      bound_of ~balance ~shards ~total:(Topology.num_routers topo) ~w_max
+    in
+    let rng = Rng.create (0x9e3779b9 lxor seed) in
+    let as_owner, load = grow g ~shards ~rng ~bound in
+    refine g ~shards ~bound as_owner load;
+    let grown = finish topo g ~shards as_owner in
+    (* Keep the trivial layout when it is strictly better and legal: the
+       advertised guarantee is "never worse than balanced round-robin". *)
+    let rr = round_robin ~shards topo in
+    let rr_max = Array.fold_left Stdlib.max 0 rr.sizes in
+    if rr.cut_edges < grown.cut_edges && rr_max <= bound then rr else grown
+  end
+
+let edge_cut_fraction t =
+  if t.total_edges = 0 then 0.0
+  else float_of_int t.cut_edges /. float_of_int t.total_edges
+
+let imbalance t =
+  let n = Array.fold_left ( + ) 0 t.sizes in
+  if n = 0 then 1.0
+  else
+    let ideal = float_of_int n /. float_of_int t.shards in
+    float_of_int (Array.fold_left Stdlib.max 0 t.sizes) /. ideal
+
+let pp_stats ppf t =
+  let min_size = Array.fold_left Stdlib.min max_int t.sizes in
+  let max_size = Array.fold_left Stdlib.max 0 t.sizes in
+  Fmt.pf ppf
+    "@[<v>shards %d: edge cut %d/%d (%.1f%%), shard size min %d / max %d, imbalance \
+     %.2fx@]"
+    t.shards t.cut_edges t.total_edges
+    (100.0 *. edge_cut_fraction t)
+    min_size max_size (imbalance t)

@@ -1,0 +1,47 @@
+(** Deterministic seeded multi-way partitioning for sharded simulation.
+
+    Partitioning is at {e AS granularity}: every router of an AS lands on
+    the same shard, so the iBGP full mesh never crosses shards and only
+    eBGP sessions (inter-AS links) can become cut edges.  Units are
+    weighted by router count.
+
+    The algorithm is greedy BFS region growing over the AS-adjacency
+    graph (each region grows along its heaviest attachment first)
+    followed by bounded boundary-refinement passes; the result is
+    compared against trivial round-robin assignment and the round-robin
+    layout is kept when it both cuts fewer eBGP sessions and respects
+    the balance bound — so {!t.cut_edges} is never worse than
+    round-robin-with-balance.  Everything is a pure function of
+    [(topology, shards, seed, balance)], so a partition is stable across
+    runs and across machines. *)
+
+type t = {
+  shards : int;
+  owner : int array;  (** router -> shard *)
+  as_owner : int array;  (** AS -> shard *)
+  sizes : int array;  (** routers per shard *)
+  cut_edges : int;  (** eBGP sessions crossing shards *)
+  total_edges : int;  (** all eBGP sessions (inter-AS links) *)
+}
+
+val compute : ?balance:float -> shards:int -> seed:int -> Topology.t -> t
+(** [balance] (default [0.1]) is the slack [eps] of the size bound: no
+    shard's router weight exceeds
+    [max (ceil ((1 + eps) * n / shards)) (floor (n / shards) + w_max)]
+    where [w_max] is the largest AS.  @raise Invalid_argument if
+    [shards < 1] or [balance < 0]. *)
+
+val round_robin : shards:int -> Topology.t -> t
+(** AS [a] on shard [a mod shards]: the trivial baseline. *)
+
+val max_weight_bound : ?balance:float -> shards:int -> Topology.t -> int
+(** The bound {!compute} guarantees (see above). *)
+
+val edge_cut_fraction : t -> float
+(** [cut_edges / total_edges]; [0.] when there are no eBGP sessions. *)
+
+val imbalance : t -> float
+(** Largest shard size over the ideal [n / shards]; [1.0] is perfect. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-paragraph quality summary: cut %, size min/max, imbalance. *)
