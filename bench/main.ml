@@ -46,6 +46,7 @@ type mode = {
   ablations : bool;
   csv_dir : string option;
   bench_json : string option;
+  prof : bool;
 }
 
 let parse_args () =
@@ -57,6 +58,7 @@ let parse_args () =
   let ablations = ref true in
   let csv_dir = ref None in
   let bench_json = ref None in
+  let prof = ref false in
   let rec loop = function
     | [] -> ()
     | "--full" :: rest ->
@@ -89,6 +91,9 @@ let parse_args () =
     | "--bench-json" :: path :: rest ->
       bench_json := Some path;
       loop rest
+    | "--prof" :: rest ->
+      prof := true;
+      loop rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some j when j >= 1 -> Pool.set_default_jobs j
@@ -116,6 +121,7 @@ let parse_args () =
     ablations;
     csv_dir = !csv_dir;
     bench_json = !bench_json;
+    prof = !prof;
   }
 
 (* --- Figure regeneration ------------------------------------------------ *)
@@ -364,6 +370,9 @@ let () =
           ~jobs:(Pool.default_jobs ()))
       mode.bench_json
   in
+  (* Arm the harness's own wall-clock profiler before any simulation so
+     pool busy/wait and runner phase spans cover every figure. *)
+  if mode.prof then Bgp_engine.Profile.start ();
   if mode.figs then run_figures mode report;
   if mode.ablations then run_ablations mode report;
   if mode.micro then run_micro ();
@@ -408,6 +417,29 @@ let () =
             })
         result.Runner.attribution)
     report;
+  (if mode.prof then
+     match Bgp_engine.Profile.stop () with
+     | None -> ()
+     | Some pr ->
+       let wall = Int64.to_float pr.Bgp_engine.Profile.wall_ns /. 1e9 in
+       let queue_wait = Int64.to_float (Bgp_engine.Profile.queue_wait_ns pr) /. 1e9 in
+       let spans = Bgp_engine.Profile.summarize pr in
+       Fmt.pr "@.=== harness wall-time profile (--prof) ===@.";
+       Fmt.pr "wall %.2f s, pool queue wait %.2f s@." wall queue_wait;
+       List.iter
+         (fun (label, s, n) ->
+           if s >= 0.01 then Fmt.pr "  %-45s %8.3f s  (%d)@." label s n)
+         spans;
+       Option.iter
+         (fun r ->
+           Bench_report.set_profile r
+             {
+               Bench_report.prof_wall = wall;
+               prof_queue_wait = queue_wait;
+               prof_spans = spans;
+               prof_counters = pr.Bgp_engine.Profile.counters;
+             })
+         report);
   match (mode.bench_json, report) with
   | Some path, Some r ->
     Bench_report.write r path;

@@ -194,7 +194,9 @@ let bench_shard_barrier ~iters () =
 (* Partitioner wall-time at realistic topology scales (the one-off cost a
    sharded run pays before building the network).  Generation is outside
    the timed region; Barabasi-Albert keeps it cheap at 50k nodes where
-   the degree-sequence generator's O(n^2) graphicality test would not. *)
+   the degree-sequence generator's O(n^2) graphicality test would not —
+   and its own sampling is O(1) per draw, so setup no longer dominates
+   quick mode. *)
 let bench_partition ~n ~iters () =
   let rng = Rng.create 1 in
   let topo = Topology.of_graph rng (Bgp_topology.Models.barabasi_albert rng ~n ~m:2) in
@@ -235,8 +237,9 @@ let () =
       bench_partition ~n:1_000 ~iters:(max 1 (scale 50));
       bench_partition ~n:10_000 ~iters:(max 1 (scale 10));
     ]
-    (* The 50k point's topology *generation* (outside the timed region)
-       takes minutes, so it only runs in full mode. *)
+    (* The 50k point's Partition.compute alone takes ~10 s (its BA
+       generation is linear-time since the repeated-endpoints sampler),
+       so it only runs in full mode. *)
     @ (if quick then [] else [ bench_partition ~n:50_000 ~iters:1 ])
   in
   let report = Report.create ~trials:1 ~n:0 ~jobs:1 in

@@ -142,6 +142,31 @@ let build_scenario o =
              ~warmup:(if o.analytic then Runner.Analytic else Runner.Simulated)
              ~policies:o.policies ?sharding:o.shards topo)))
 
+let write_file ?(quiet = true) path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  if not quiet then Fmt.pr "wrote %s@." path
+
+(* Opt-in wall-clock profiling (--prof / --prof-flame).  The profiler
+   reads only the monotonic clock and GC statistics — never simulated
+   state — so arming it cannot change any simulation output. *)
+module Profile = Bgp_engine.Profile
+
+let with_prof ~prof ~prof_flame ~quiet f =
+  let enabled = prof <> None || prof_flame <> None in
+  if enabled then Profile.start ();
+  let code = f () in
+  (if enabled then
+     match Profile.stop () with
+     | None -> ()
+     | Some r ->
+       Option.iter (fun path -> write_file ~quiet path (Profile.to_json r ^ "\n")) prof;
+       Option.iter
+         (fun path -> write_file ~quiet path (Profile.to_flamegraph r))
+         prof_flame);
+  code
+
 let pp_attr_line ppf (attr : Attribution.t) =
   Fmt.pf ppf
     "queueing %.2f + processing %.2f + mrai %.2f + propagation %.2f = %.2f s (%d hops%s)"
@@ -153,7 +178,8 @@ let pp_attr_line ppf (attr : Attribution.t) =
 
 (* --- run (default command) ----------------------------------------------- *)
 
-let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir quiet =
+let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir prof
+    prof_flame quiet =
   if jobs < 0 then begin
     Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
     exit 1
@@ -167,6 +193,7 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
     end
   in
   let opts = { opts with shards = resolve_shards ~jobs ~quiet opts.shards } in
+  with_prof ~prof ~prof_flame ~quiet @@ fun () ->
   match build_scenario opts with
   | Error m ->
     Fmt.epr "error: %s@." m;
@@ -239,6 +266,21 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
       (Bgp_engine.Stats.summarize delays);
     Fmt.pr "update messages  : %a@." Bgp_engine.Stats.pp_summary
       (Bgp_engine.Stats.summarize msgs);
+    (* Where the trial pool's wall time went: per-domain busy vs deque
+       wait for the last batch (the trials themselves, since the trial
+       fan-out is the only pool call here). *)
+    if jobs > 1 && not quiet then
+      (match Bgp_engine.Pool.last_batch () with
+      | [] -> ()
+      | per_domain ->
+        Fmt.pr "pool (last batch):@.";
+        List.iter
+          (fun (d : Bgp_engine.Pool.domain_stat) ->
+            Fmt.pr "  domain %2d: %3d job%s, busy %7.3f s, wait %7.3f s@." d.domain
+              d.jobs
+              (if d.jobs = 1 then " " else "s")
+              d.busy d.wait)
+          per_domain);
     (match (List.nth_opt traces 0, trace_n) with
     | Some (Some trace), Some limit ->
       Fmt.pr "@.last %d trace events of trial 0 (%d in memory, %d spilled, %d dropped):@."
@@ -285,12 +327,6 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir qu
 
 (* --- analyze ------------------------------------------------------------- *)
 
-let write_file ?(quiet = true) path content =
-  let oc = open_out path in
-  output_string oc content;
-  close_out oc;
-  if not quiet then Fmt.pr "wrote %s@." path
-
 module Attr_merge = Bgp_netsim.Attr_merge
 
 (* --merge DIR: no simulation — fold every trial under DIR into the
@@ -329,7 +365,8 @@ let merge_main dir json_path flame_path top jobs reparse quiet =
     end
 
 let analyze_main opts capacity spill json_path top max_hops per_dest flame_path merge_dir
-    jobs reparse quiet =
+    jobs reparse prof prof_flame quiet =
+  with_prof ~prof ~prof_flame ~quiet @@ fun () ->
   match merge_dir with
   | Some dir -> merge_main dir json_path flame_path top jobs reparse quiet
   | None -> (
@@ -389,7 +426,7 @@ let analyze_main opts capacity spill json_path top max_hops per_dest flame_path 
 module Chaos = Bgp_experiments.Chaos
 
 let chaos_main opts trials jobs max_events horizon replay_every capacity out
-    seed_violation sidecar_dir quiet =
+    seed_violation sidecar_dir prof prof_flame quiet =
   if jobs < 0 then begin
     Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
     exit 1
@@ -398,6 +435,7 @@ let chaos_main opts trials jobs max_events horizon replay_every capacity out
     let effective = if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs in
     { opts with shards = resolve_shards ~jobs:effective ~quiet opts.shards }
   in
+  with_prof ~prof ~prof_flame ~quiet @@ fun () ->
   match build_scenario opts with
   | Error m ->
     Fmt.epr "error: %s@." m;
@@ -593,10 +631,27 @@ let telemetry_dir =
 
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary.")
 
+let prof_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prof" ] ~docv:"PATH"
+           ~doc:"Profile the run's own wall time and write a bgp-prof/1 JSON report \
+                 to PATH: per-domain compute / barrier-wait / mailbox spans (sharded \
+                 engine), pool busy/queue-wait, runner phase boundaries, scheduler \
+                 slab high-water and per-domain GC deltas.  The profiler reads only \
+                 the monotonic clock and GC statistics, so every simulation output \
+                 is bit-identical with and without it.")
+
+let prof_flame_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prof-flame" ] ~docv:"PATH"
+           ~doc:"Also write the profile as collapsed-stack lines \
+                 ('domain;shard;span microseconds') to PATH for inferno / \
+                 flamegraph.pl / speedscope.  Implies profiling even without --prof.")
+
 let run_term =
   Term.(
     const run_main $ opts_term $ trials $ jobs $ trace_n $ trace_file $ probe_interval
-    $ telemetry_dir $ quiet)
+    $ telemetry_dir $ prof_arg $ prof_flame_arg $ quiet)
 
 let capacity =
   Arg.(value & opt int 1_000_000
@@ -683,7 +738,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc ~man)
     Term.(
       const analyze_main $ opts_term $ capacity $ spill $ json_path $ top $ max_hops
-      $ per_dest_attr $ flame_path $ merge_dir $ jobs $ merge_reparse $ quiet)
+      $ per_dest_attr $ flame_path $ merge_dir $ jobs $ merge_reparse $ prof_arg
+      $ prof_flame_arg $ quiet)
 
 let chaos_trials =
   Arg.(value & opt int 100
@@ -754,7 +810,7 @@ let chaos_cmd =
     Term.(
       const chaos_main $ opts_term $ chaos_trials $ jobs $ max_events $ horizon
       $ replay_every $ capacity $ chaos_out $ seed_violation $ chaos_sidecar_dir
-      $ quiet)
+      $ prof_arg $ prof_flame_arg $ quiet)
 
 (* --- serve ----------------------------------------------------------------- *)
 
@@ -773,7 +829,9 @@ let serve_main dir socket query max_requests scan_interval quiet =
       Fmt.epr "error: cannot reach server at %s: %s@." socket (Unix.error_message e);
       1)
   | None -> (
-    if not quiet then Fmt.pr "serving %s at %s (status | report | flame | shutdown)@." dir socket;
+    if not quiet then
+      Fmt.pr "serving %s at %s (status | report | flame | metrics | shutdown)@." dir
+        socket;
     match Serve.run ?max_requests ~scan_interval ~socket ~dir () with
     | () -> 0
     | exception Unix.Unix_error (e, fn, _) ->
@@ -792,8 +850,8 @@ let serve_socket =
 let serve_query =
   Arg.(value & opt (some string) None
        & info [ "query" ] ~docv:"REQUEST"
-           ~doc:"Client mode: send one request (status | report | flame | shutdown) to \
-                 a running server and print the response.")
+           ~doc:"Client mode: send one request (status | report | flame | metrics | \
+                 shutdown) to a running server and print the response.")
 
 let serve_max_requests =
   Arg.(value & opt (some int) None
@@ -822,10 +880,12 @@ let serve_cmd =
          campaign costs the server O(trials) work total.";
       `P
         "Requests are one line per connection on a Unix-domain socket: 'status' \
-         (bgp-serve-status/1 JSON: trial counts, tail percentiles, throughput, \
-         telemetry counters), 'report' (the full bgp-attr-merge/1 document), \
-         'flame' (merged collapsed stacks) and 'shutdown'.  Query a running server \
-         with --query, e.g. 'bgpsim serve --socket S --query status'.";
+         (bgp-serve-status/2 JSON: trial counts, tail percentiles, throughput, \
+         uptime, process RSS and GC gauges, telemetry counters), 'report' (the full \
+         bgp-attr-merge/1 document), 'flame' (merged collapsed stacks), 'metrics' \
+         (Prometheus text exposition, so the server can be scraped) and 'shutdown'.  \
+         Query a running server with --query, e.g. 'bgpsim serve --socket S --query \
+         status'.";
     ]
   in
   Cmd.v

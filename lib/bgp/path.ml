@@ -73,3 +73,24 @@ let pp ppf p = Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") int) p.hops
 
 let unique_count tbl = tbl.next_id - 1
 let hit_count tbl = tbl.hits
+
+type table_stats = {
+  nodes : int;
+  hops_total : int;
+  sharing : float;
+  approx_bytes : int;
+}
+
+(* Word model per interned node: path record (5 words incl. header) +
+   one cons cell of the shared spine (3) + memo bucket cons (3) = 11
+   words.  [hops_total] is what the paths would occupy as naive int
+   lists (3 words per hop); [sharing] is that naive cost over the
+   actual shared-spine cost, >= 1, higher = more tail sharing. *)
+let table_stats tbl =
+  let word = Sys.word_size / 8 in
+  let hops_total = Hashtbl.fold (fun _ p acc -> acc + p.len) tbl.memo 0 in
+  let nodes = unique_count tbl in
+  let sharing =
+    if nodes = 0 then 1.0 else float_of_int hops_total /. float_of_int nodes
+  in
+  { nodes; hops_total; sharing; approx_bytes = nodes * 11 * word }

@@ -67,3 +67,16 @@ val unique_count : table -> int
 
 val hit_count : table -> int
 (** [cons] calls answered from the memo table. *)
+
+type table_stats = {
+  nodes : int;  (** distinct interned path nodes (= {!unique_count}) *)
+  hops_total : int;  (** sum of path lengths over all interned nodes *)
+  sharing : float;
+      (** naive per-path hop storage over actual shared-spine storage;
+          [>= 1.0], higher means more tail sharing *)
+  approx_bytes : int;  (** fixed word model: 11 words per node *)
+}
+
+val table_stats : table -> table_stats
+(** Deterministic size accounting for the memory report: depends only on
+    what was interned, never on hashing or GC state.  O(nodes). *)

@@ -163,6 +163,28 @@ let best_path t dest =
 
 let loc_size t = Hashtbl.length t.loc_rib
 
+let in_entries t =
+  Hashtbl.fold (fun _ table acc -> acc + Hashtbl.length table) t.rib_in 0
+
+(* Estimated resident size in bytes.  A fixed word model, not a heap
+   walk, so the number is deterministic (it depends only on entry
+   counts, never on hashing or GC state) and cheap to take mid-run:
+     adj-in entry   bucket cons (3) + slot (3) + entry (5) + rel (2)
+     per-dest table inner Hashtbl header/bucket floor (12) + outer cons (3)
+     loc-rib entry  bucket cons (3) + Learned box (2) + entry (5) + rel (2)
+   AS-path storage is shared through the hashcons table and accounted
+   there ([Path.table_stats]), not per RIB. *)
+let approx_bytes t =
+  let word = Sys.word_size / 8 in
+  let words =
+    (Hashtbl.length t.rib_in * 15)
+    + (in_entries t * 13)
+    + (Hashtbl.length t.loc_rib * 12)
+    + (Hashtbl.length t.local * 3)
+    + (3 * 12)
+  in
+  words * word
+
 let num_dests t =
   let seen = Hashtbl.create 256 in
   Hashtbl.iter (fun dest _ -> Hashtbl.replace seen dest ()) t.rib_in;

@@ -74,6 +74,16 @@ val loc_size : t -> int
 (** Destinations with a current Loc-RIB selection — the "RIB size" the
     telemetry probes sample.  O(1). *)
 
+val in_entries : t -> int
+(** Total Adj-RIB-In entries across all destinations and peers. *)
+
+val approx_bytes : t -> int
+(** Estimated resident size of this RIB in bytes, from a fixed
+    words-per-entry model over the entry counts (deterministic: no heap
+    walk, no dependence on hashing or GC state).  Shared AS-path storage
+    is excluded — it is accounted once, at the hashcons table
+    ([Path.table_stats]). *)
+
 val rank : best -> int * int * int * int
 (** Reference ranking key (preference class, path length, eBGP-over-iBGP,
     peer id; lower is better); kept as the specification that

@@ -1,0 +1,25 @@
+/* Monotonic wall clock for the runtime profiler.
+
+   CLOCK_MONOTONIC nanoseconds as an unboxed int64: immune to NTP steps
+   (unlike Unix.gettimeofday) and cheap enough to read inside the
+   sharded executor's window loop.  [@@noalloc] on the OCaml side —
+   clock_gettime never fails for CLOCK_MONOTONIC on the platforms we
+   target, and the unboxed return avoids boxing an Int64 per read. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+int64_t bgp_prof_clock_ns_unboxed(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value bgp_prof_clock_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(bgp_prof_clock_ns_unboxed());
+}

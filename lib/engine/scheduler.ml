@@ -28,6 +28,7 @@ type t = {
   mutable free : int array;
   mutable free_top : int;
   mutable live : int;
+  mutable max_live : int;  (* slab occupancy high-water since create *)
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
@@ -48,6 +49,7 @@ let create () =
     free = Array.init initial_cap (fun i -> initial_cap - 1 - i);
     free_top = initial_cap;
     live = 0;
+    max_live = 0;
     clock = 0.0;
     next_seq = 0;
     executed = 0;
@@ -174,6 +176,7 @@ let schedule_at t ~time f =
   t.cbs.(slot) <- f;
   t.seq_of_slot.(slot) <- seq;
   t.live <- t.live + 1;
+  if t.live > t.max_live then t.max_live <- t.live;
   heap_push t time seq slot;
   (seq lsl slot_bits) lor slot
 
@@ -247,3 +250,5 @@ let run ?until t =
 
 let time_of_last_event t = t.last_event_time
 let events_executed t = t.executed
+let max_live t = t.max_live
+let slab_capacity t = Array.length t.cbs

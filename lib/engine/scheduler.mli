@@ -54,3 +54,12 @@ val time_of_last_event : t -> float
 (** Timestamp of the most recently executed event (0 if none ran yet). *)
 
 val events_executed : t -> int
+
+val max_live : t -> int
+(** Slab occupancy high-water: the most events simultaneously pending
+    since [create].  Always tracked (one compare per [schedule]); the
+    profiler and telemetry read it at finalize. *)
+
+val slab_capacity : t -> int
+(** Current size of the callback slab (grows by doubling, never
+    shrinks) — with {!max_live} this bounds the queue's memory. *)

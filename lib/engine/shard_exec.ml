@@ -81,9 +81,11 @@ let shards t = t.k
 let sched t i = t.scheds.(i)
 
 let post t ~src ~dst m =
+  let t0 = if Profile.on () then Profile.now_ns () else 0L in
   let box = t.boxes.((src * t.k) + dst) in
   box := m :: !box;
-  t.posted.(src * stride) <- t.posted.(src * stride) + 1
+  t.posted.(src * stride) <- t.posted.(src * stride) + 1;
+  if Profile.on () then Profile.accum Mailbox_post t0
 
 let drain_into t dst =
   (* Gather everything addressed to [dst], restore posting order per
@@ -106,16 +108,27 @@ let run_phase t ~lookahead ~cap ~deliver ?at_barrier () =
   Array.fill t.excs 0 t.k None;
   t.decision <- Stop;
   let worker d =
+    (* Read the profiler arm once per phase: the windows loop is the
+       hot path, and a window with profiling off must cost exactly one
+       extra branch per section. *)
+    let prof = Profile.on () in
     let continue = ref true in
     while !continue do
+      let t0 = if prof then Profile.now_ns () else 0L in
       Barrier.wait t.barrier (* B1: previous window done, posts visible *);
+      if prof then Profile.record Barrier_wait ~shard:d t0;
+      let t0 = if prof then Profile.now_ns () else 0L in
       (if t.excs.(d) = None then
          try
            let batch = drain_into t d in
            if Array.length batch > 0 then deliver d batch
          with e -> t.excs.(d) <- Some e);
+      if prof then Profile.record Mailbox_drain ~shard:d t0;
+      let t0 = if prof then Profile.now_ns () else 0L in
       Barrier.wait t.barrier (* B2: mailboxes empty, deliveries queued *);
+      if prof then Profile.record Barrier_wait ~shard:d t0;
       if d = 0 then begin
+        let t0 = if prof then Profile.now_ns () else 0L in
         let failed = Array.exists Option.is_some t.excs in
         let next = ref None in
         if not failed then
@@ -138,15 +151,20 @@ let run_phase t ~lookahead ~cap ~deliver ?at_barrier () =
              with e ->
                t.excs.(0) <- Some e;
                Stop)
-          | Some _ | None -> Stop)
+          | Some _ | None -> Stop);
+        if prof then Profile.record Decide ~shard:0 t0
       end;
+      let t0 = if prof then Profile.now_ns () else 0L in
       Barrier.wait t.barrier (* B3: decision visible *);
+      if prof then Profile.record Barrier_wait ~shard:d t0;
       match t.decision with
       | Stop -> continue := false
       | Window stop ->
         if t.excs.(d) = None then (
-          try Scheduler.run_window t.scheds.(d) ~stop ~cap
-          with e -> t.excs.(d) <- Some e)
+          let t0 = if prof then Profile.now_ns () else 0L in
+          (try Scheduler.run_window t.scheds.(d) ~stop ~cap
+           with e -> t.excs.(d) <- Some e);
+          if prof then Profile.record Compute ~shard:d t0)
     done
   in
   if t.k = 1 then worker 0

@@ -40,6 +40,16 @@ type attribution = {
   attr_straggler_tail : float;
 }
 
+(* Where the harness's wall time went: a flat rendering of a
+   Bgp_engine.Profile report (see Profile.summarize), kept as plain rows
+   so this module stays decoupled from the profiler's span types. *)
+type profile = {
+  prof_wall : float;  (* profiled wall time, seconds *)
+  prof_queue_wait : float;  (* cumulative pool queue wait, seconds *)
+  prof_spans : (string * float * int) list;  (* label, seconds, count *)
+  prof_counters : (string * int) list;
+}
+
 type t = {
   trials : int;
   n : int;
@@ -47,13 +57,24 @@ type t = {
   mutable entries_rev : entry list;
   mutable micros_rev : micro list;
   mutable attribution : attribution option;
+  mutable profile : profile option;
 }
 
 let create ~trials ~n ~jobs =
-  { trials; n; jobs; entries_rev = []; micros_rev = []; attribution = None }
+  {
+    trials;
+    n;
+    jobs;
+    entries_rev = [];
+    micros_rev = [];
+    attribution = None;
+    profile = None;
+  }
 
 let set_attribution t a = t.attribution <- Some a
 let attribution t = t.attribution
+let set_profile t p = t.profile <- Some p
+let profile t = t.profile
 
 let micro ~name ~iters ~wall =
   let per_op = if iters > 0 then wall /. float_of_int iters else 0.0 in
@@ -188,6 +209,31 @@ let to_json t =
       a.attr_straggler_dest;
     buf_float buf a.attr_straggler_tail;
     Buffer.add_char buf '}');
+  (match t.profile with
+  | None -> ()
+  | Some p ->
+    Buffer.add_string buf ",\n  \"profile\": {\"wall_s\": ";
+    buf_float buf p.prof_wall;
+    Buffer.add_string buf ", \"queue_wait_s\": ";
+    buf_float buf p.prof_queue_wait;
+    Buffer.add_string buf ", \"spans\": [";
+    List.iteri
+      (fun i (label, seconds, count) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf "\n      {\"span\": ";
+        buf_string buf label;
+        Buffer.add_string buf ", \"total_s\": ";
+        buf_float buf seconds;
+        Printf.bprintf buf ", \"count\": %d}" count)
+      p.prof_spans;
+    Buffer.add_string buf "\n    ], \"counters\": {";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        buf_string buf name;
+        Printf.bprintf buf ": %d" v)
+      p.prof_counters;
+    Buffer.add_string buf "}}");
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 

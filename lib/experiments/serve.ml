@@ -13,6 +13,9 @@ type t = {
   mutable q_status : int;
   mutable q_report : int;
   mutable q_flame : int;
+  mutable q_metrics : int;
+  mutable fold_s : float;  (* cumulative wall seconds inside [scan] *)
+  mutable last_scan : float;  (* wall clock of the last completed scan *)
 }
 
 let create ?worst_capacity ~dir () =
@@ -27,7 +30,26 @@ let create ?worst_capacity ~dir () =
     q_status = 0;
     q_report = 0;
     q_flame = 0;
+    q_metrics = 0;
+    fold_s = 0.0;
+    last_scan = 0.0;
   }
+
+(* Resident set size from /proc/self/statm (Linux); 0 where that is
+   unavailable.  Page size is not exposed by [Unix], so assume 4 KiB —
+   right on every platform with /proc. *)
+let rss_bytes () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match String.split_on_char ' ' (input_line ic) with
+        | _ :: resident :: _ ->
+          (match int_of_string_opt resident with Some p -> p * 4096 | None -> 0)
+        | _ -> 0
+        | exception End_of_file -> 0)
 
 (* One incremental pass: fold every sidecar we have not seen yet.  Only
    [*.attr.json] files count — trace JSONL is deliberately invisible to
@@ -36,6 +58,7 @@ let create ?worst_capacity ~dir () =
    fails to parse is recorded as skipped and marked seen, so a corrupt
    drop is reported once, not once per scan. *)
 let scan t =
+  let t0 = Unix.gettimeofday () in
   t.scans <- t.scans + 1;
   let names = try Sys.readdir t.dir with Sys_error _ -> [||] in
   Array.sort String.compare names;
@@ -52,6 +75,9 @@ let scan t =
       end)
     names;
   t.folded <- t.folded + !n;
+  let t1 = Unix.gettimeofday () in
+  t.fold_s <- t.fold_s +. (t1 -. t0);
+  t.last_scan <- t1;
   !n
 
 let trials t = M.trials t.acc
@@ -64,7 +90,7 @@ let status_json t =
   let f = J.float_lit in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"schema\":\"bgp-serve-status/1\",\"dir\":%s,\"uptime\":%s,\"trials\":%d,\"dests\":%d"
+       "{\"schema\":\"bgp-serve-status/2\",\"dir\":%s,\"uptime\":%s,\"trials\":%d,\"dests\":%d"
        (J.escape t.dir) (f uptime) r.M.r_trials r.M.r_dests);
   Buffer.add_string b
     (Printf.sprintf ",\"skipped\":%d,\"first_error\":%s" r.M.r_skipped
@@ -78,10 +104,74 @@ let status_json t =
        (String.concat ","
           (List.map (fun (n, c) -> Printf.sprintf "%s:%d" (J.escape n) c) r.M.r_violations)));
   Buffer.add_string b (Printf.sprintf ",\"trials_per_sec\":%s" (f rate));
+  (* /2 additions: explicit-unit uptime plus process gauges, so a status
+     poll answers "is this instance healthy" without the metrics verb. *)
+  let gc = Gc.quick_stat () in
+  Buffer.add_string b
+    (Printf.sprintf ",\"uptime_s\":%s,\"rss_bytes\":%d,\"gc\":{\"heap_words\":%d,\"minor_collections\":%d,\"major_collections\":%d}"
+       (f uptime) (rss_bytes ()) gc.Gc.heap_words gc.Gc.minor_collections
+       gc.Gc.major_collections);
   Buffer.add_string b
     (Printf.sprintf
-       ",\"counters\":{\"scans\":%d,\"folded\":%d,\"requests\":%d,\"status\":%d,\"report\":%d,\"flame\":%d}}"
-       t.scans t.folded t.requests t.q_status t.q_report t.q_flame);
+       ",\"counters\":{\"scans\":%d,\"folded\":%d,\"requests\":%d,\"status\":%d,\"report\":%d,\"flame\":%d,\"metrics\":%d}}"
+       t.scans t.folded t.requests t.q_status t.q_report t.q_flame t.q_metrics);
+  Buffer.contents b
+
+(* Prometheus text exposition format, version 0.0.4: HELP/TYPE comment
+   pairs then one sample per line.  Scrapers poll this through
+   [serve --query metrics] (or anything that can speak the one-line
+   socket protocol). *)
+let metrics_text t =
+  let r = M.report t.acc in
+  let now = Unix.gettimeofday () in
+  let gc = Gc.quick_stat () in
+  let b = Buffer.create 2048 in
+  let sample ?labels ~help ~typ name v =
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n%s%s %s\n" name help name typ name
+      (match labels with None -> "" | Some l -> "{" ^ l ^ "}")
+      (J.float_lit v)
+  in
+  sample "bgp_serve_uptime_seconds" ~help:"Seconds since the server started."
+    ~typ:"gauge" (now -. t.started);
+  sample "bgp_serve_scans_total" ~help:"Directory scans performed." ~typ:"counter"
+    (float_of_int t.scans);
+  sample "bgp_serve_folded_trials_total" ~help:"Sidecars folded into the accumulator."
+    ~typ:"counter" (float_of_int t.folded);
+  sample "bgp_serve_skipped_total" ~help:"Sidecars skipped as unreadable."
+    ~typ:"counter" (float_of_int r.M.r_skipped);
+  sample "bgp_serve_requests_total" ~help:"Requests answered." ~typ:"counter"
+    (float_of_int t.requests);
+  sample "bgp_serve_fold_seconds_total"
+    ~help:"Wall seconds spent scanning and folding sidecars." ~typ:"counter" t.fold_s;
+  sample "bgp_serve_fold_lag_seconds"
+    ~help:"Seconds since the last completed scan (staleness of answers)."
+    ~typ:"gauge"
+    (if t.last_scan > 0.0 then now -. t.last_scan else 0.0);
+  sample "bgp_serve_trials" ~help:"Trials folded so far." ~typ:"gauge"
+    (float_of_int r.M.r_trials);
+  sample "bgp_serve_dests" ~help:"Pooled destination tails." ~typ:"gauge"
+    (float_of_int r.M.r_dests);
+  sample "bgp_serve_mean_delay_seconds" ~help:"Mean convergence delay." ~typ:"gauge"
+    r.M.r_mean_delay;
+  Printf.bprintf b
+    "# HELP bgp_serve_tail_seconds Pooled per-destination tail percentiles.\n\
+     # TYPE bgp_serve_tail_seconds gauge\n";
+  Printf.bprintf b "bgp_serve_tail_seconds{quantile=\"0.5\"} %s\n" (J.float_lit r.M.r_p50);
+  Printf.bprintf b "bgp_serve_tail_seconds{quantile=\"0.95\"} %s\n" (J.float_lit r.M.r_p95);
+  Printf.bprintf b "bgp_serve_tail_seconds{quantile=\"0.99\"} %s\n" (J.float_lit r.M.r_p99);
+  sample "bgp_serve_battery_pass_total" ~help:"Trials whose shape battery passed."
+    ~typ:"counter" (float_of_int r.M.r_pass);
+  sample "bgp_serve_battery_fail_total" ~help:"Trials whose shape battery failed."
+    ~typ:"counter" (float_of_int r.M.r_fail);
+  sample "bgp_process_resident_memory_bytes" ~help:"Resident set size."
+    ~typ:"gauge"
+    (float_of_int (rss_bytes ()));
+  sample "bgp_gc_heap_words" ~help:"OCaml major heap size in words." ~typ:"gauge"
+    (float_of_int gc.Gc.heap_words);
+  sample "bgp_gc_minor_collections_total" ~help:"Minor collections." ~typ:"counter"
+    (float_of_int gc.Gc.minor_collections);
+  sample "bgp_gc_major_collections_total" ~help:"Major collections." ~typ:"counter"
+    (float_of_int gc.Gc.major_collections);
   Buffer.contents b
 
 let handle t line =
@@ -96,7 +186,10 @@ let handle t line =
   | "flame" ->
     t.q_flame <- t.q_flame + 1;
     M.to_flamegraph t.acc
-  | "shutdown" -> "{\"schema\":\"bgp-serve-status/1\",\"shutdown\":true}"
+  | "metrics" ->
+    t.q_metrics <- t.q_metrics + 1;
+    metrics_text t
+  | "shutdown" -> "{\"schema\":\"bgp-serve-status/2\",\"shutdown\":true}"
   | other -> Printf.sprintf "{\"error\":%s}" (J.escape ("unknown request: " ^ other))
 
 (* Read one request line from a connection (client half-closes after

@@ -14,14 +14,19 @@
     {b Protocol} (one request per connection): the client sends a single
     line and half-closes; the server replies with one document and
     closes.
-    - [status] — ["bgp-serve-status/1"] JSON: folded trial / destination
+    - [status] — ["bgp-serve-status/2"] JSON: folded trial / destination
       counts, skip count + first error, the chaos invariant-battery
       pass/fail tally, histogram tail percentiles (p50/p95/p99),
-      mean delay, trials/sec throughput, uptime, and the service's own
+      mean delay, trials/sec throughput, uptime (plus explicit-unit
+      [uptime_s]), process RSS and GC gauges, and the service's own
       telemetry counters (scans, folds, requests by kind);
     - [report] — the full merged ["bgp-attr-merge/1"] document
       ({!Bgp_netsim.Attr_merge.to_json});
     - [flame] — merged collapsed-stack flamegraph lines (text);
+    - [metrics] — Prometheus text exposition format (version 0.0.4):
+      campaign counters, fold timings and lag, tail-percentile gauges,
+      process RSS and OCaml GC gauges — so a long-running instance can
+      be scraped;
     - [shutdown] — acknowledges and stops the serve loop.
 
     The loop is single-threaded by design (no new dependencies, no
@@ -43,7 +48,7 @@ val trials : t -> int
 (** Trials folded so far (monotonic). *)
 
 val handle : t -> string -> string
-(** Answer one request line ([status] / [report] / [flame] /
+(** Answer one request line ([status] / [report] / [flame] / [metrics] /
     [shutdown]); unknown requests get a one-line JSON error.  Pure
     post-fold rendering — exposed so tests can drive the service without
     sockets. *)

@@ -670,6 +670,76 @@ let start_probes t tele =
   in
   arm ()
 
+(* End-of-run memory snapshot for Telemetry.memory: fixed word-model
+   estimates over entry counts, so the result is a pure function of
+   simulated state (identical across jobs; see telemetry.mli).  Failed
+   routers are included — their RIBs are still resident. *)
+let memory_snapshot t =
+  let shard_of r = match t.shard with None -> 0 | Some sh -> sh.owner.(r) in
+  let k = match t.shard with None -> 1 | Some sh -> Array.length sh.ctxs in
+  let routers = Array.make k 0 in
+  let rib_entries = Array.make k 0 in
+  let rib_bytes = Array.make k 0 in
+  Array.iteri
+    (fun r router ->
+      let s = shard_of r in
+      routers.(s) <- routers.(s) + 1;
+      let rib = Router.rib router in
+      rib_entries.(s) <- rib_entries.(s) + Bgp_proto.Rib.in_entries rib;
+      rib_bytes.(s) <- rib_bytes.(s) + Bgp_proto.Rib.approx_bytes rib)
+    t.routers;
+  let path_stats =
+    match t.shard with
+    | None -> [| Bgp_proto.Path.table_stats t.paths |]
+    | Some sh -> Array.map (fun c -> Bgp_proto.Path.table_stats c.spaths) sh.ctxs
+  in
+  let sched_stats =
+    match t.shard with
+    | None -> [| (Sched.max_live t.sched, Sched.slab_capacity t.sched) |]
+    | Some sh ->
+      Array.map (fun c -> (Sched.max_live c.ssched, Sched.slab_capacity c.ssched)) sh.ctxs
+  in
+  let per_shard =
+    List.init k (fun s ->
+        let ps = path_stats.(s) in
+        let max_live, slab_cap = sched_stats.(s) in
+        {
+          Telemetry.shard = s;
+          routers = routers.(s);
+          rib_entries = rib_entries.(s);
+          rib_bytes = rib_bytes.(s);
+          path_nodes = ps.Bgp_proto.Path.nodes;
+          path_bytes = ps.Bgp_proto.Path.approx_bytes;
+          sched_max_live = max_live;
+          sched_slab_cap = slab_cap;
+        })
+  in
+  let traces =
+    match t.shard with
+    | None -> Option.to_list t.config.trace
+    | Some sh -> List.filter_map (fun c -> c.strace) (Array.to_list sh.ctxs)
+  in
+  let sum f = List.fold_left (fun acc tr -> acc + f tr) 0 traces in
+  let path_nodes_total =
+    Array.fold_left (fun acc ps -> acc + ps.Bgp_proto.Path.nodes) 0 path_stats
+  in
+  let path_hops_total =
+    Array.fold_left (fun acc ps -> acc + ps.Bgp_proto.Path.hops_total) 0 path_stats
+  in
+  {
+    Telemetry.per_shard;
+    rib_bytes_total = Array.fold_left ( + ) 0 rib_bytes;
+    path_bytes_total =
+      Array.fold_left (fun acc ps -> acc + ps.Bgp_proto.Path.approx_bytes) 0 path_stats;
+    path_sharing =
+      (if path_nodes_total = 0 then 1.0
+       else float_of_int path_hops_total /. float_of_int path_nodes_total);
+    trace_len = sum Trace.length;
+    trace_cap = sum Trace.capacity;
+    trace_dropped = sum Trace.dropped;
+    trace_spilled = sum Trace.spilled;
+  }
+
 let overloaded_routers t ~threshold =
   let acc = ref [] in
   for r = Array.length t.routers - 1 downto 0 do

@@ -171,6 +171,14 @@ val overloaded_routers : t -> threshold:float -> int list
 
 (** {2 Telemetry probes} *)
 
+val memory_snapshot : t -> Telemetry.memory
+(** Estimated memory footprint, rolled up per shard (pseudo-shard 0 for
+    a sequential build): RIB bytes and entry counts per owner shard,
+    per-table hashcons stats, scheduler-slab high-water/capacity, and
+    trace-ring occupancy.  Fixed word models over entry counts only —
+    deterministic for a given run, identical across [--jobs].  The
+    runner attaches it via [Telemetry.set_memory] at finalize. *)
+
 val probe_tick : ?time:float -> t -> Telemetry.t -> unit
 (** Record one probe tick: a {!Telemetry.row} per surviving router at the
     current simulated time (or [time] — the sharded runner's window

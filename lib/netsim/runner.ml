@@ -1,6 +1,7 @@
 module Sched = Bgp_engine.Scheduler
 module Rng = Bgp_engine.Rng
 module Stats = Bgp_engine.Stats
+module Profile = Bgp_engine.Profile
 module Topology = Bgp_topology.Topology
 module As_topology = Bgp_topology.As_topology
 module Degree_dist = Bgp_topology.Degree_dist
@@ -78,6 +79,10 @@ let make_failure topo = function
   | Links _ | No_failure -> Failure.none topo
 
 let run_sequential ?inspect s =
+  (* Wall-clock phase spans: reads of the monotonic clock only, so the
+     run is bit-identical with profiling off and on. *)
+  let prof = Profile.on () in
+  let p0 = if prof then Profile.now_ns () else 0L in
   let root = Rng.create s.seed in
   let rng_topo = Rng.split root in
   let rng_net = Rng.split root in
@@ -99,6 +104,8 @@ let run_sequential ?inspect s =
      instance (and hence all recorded state) is private to this trial. *)
   let tele = Option.map Telemetry.create net_config.Network.telemetry in
   let net = Network.build ~sched ~rng:rng_net ~config:net_config ?telemetry:tele topo in
+  if prof then Profile.record Build p0;
+  let p0 = if prof then Profile.now_ns () else 0L in
   (* Phase 1: reach steady state — by cold-start simulation (as in the
      paper) or by direct analytic construction. *)
   (match s.warmup with
@@ -113,6 +120,7 @@ let run_sequential ?inspect s =
     if s.policies then
       invalid_arg "Runner.run: analytic warm-up is policy-free only";
     Warmup.install net);
+  if prof then Profile.record Warmup p0;
   let warmup_converged = Sched.pending sched = 0 in
   let warmup_delay = Network.last_activity net in
   let warmup_messages = Network.messages_sent net in
@@ -121,6 +129,7 @@ let run_sequential ?inspect s =
   (if s.validate && warmup_converged then
      Validate.check_exn net ~failure:(Failure.none topo));
   (* Phase 2: failure and re-convergence. *)
+  let p0 = if prof then Profile.now_ns () else 0L in
   let failure = make_failure topo s.failure in
   let t_fail = Sched.now sched +. 1.0 in
   ignore
@@ -142,7 +151,11 @@ let run_sequential ?inspect s =
            Network.probe_tick net t;
            Network.start_probes net t
          | None -> ()));
+  if prof then Profile.record Fail p0;
+  let p0 = if prof then Profile.now_ns () else 0L in
   Sched.run ~until:(t_fail +. s.sim_time_cap) sched;
+  if prof then Profile.record Converge p0;
+  let p0 = if prof then Profile.now_ns () else 0L in
   (* End-of-run hook: the chaos harness reads per-router queue/RIB state
      here, before the network goes out of scope.  Pure reads only. *)
   (match inspect with Some f -> f net | None -> ());
@@ -177,6 +190,16 @@ let run_sequential ?inspect s =
     reg "attr.propagation" attr.totals.propagation;
     reg "attr.critical_hops" (float_of_int (List.length attr.critical_path))
   | _ -> ());
+  (* End-of-run memory snapshot: deterministic word-model estimates, so
+     it may live inside the structurally-compared telemetry report. *)
+  (match tele with
+  | Some t -> Telemetry.set_memory t (Network.memory_snapshot net)
+  | None -> ());
+  if prof then begin
+    Profile.counter_max "sched.max_live.shard0" (Sched.max_live sched);
+    Profile.counter_max "sched.slab_cap.shard0" (Sched.slab_capacity sched);
+    Profile.record Finalize p0
+  end;
   {
     converged;
     warmup_delay;
@@ -208,6 +231,8 @@ let run_sequential ?inspect s =
    and its goldens stay untouched. *)
 let run_sharded ?inspect s ~shards =
   if shards < 1 then invalid_arg "Runner.run: sharding must be >= 1";
+  let prof = Profile.on () in
+  let p0 = if prof then Profile.now_ns () else 0L in
   let root = Rng.create s.seed in
   let rng_topo = Rng.split root in
   let rng_net = Rng.split root in
@@ -231,6 +256,7 @@ let run_sharded ?inspect s ~shards =
     Network.build_sharded ~shards ~owner:part.Bgp_topology.Partition.owner ~lookahead
       ~rng:rng_net ~config:net_config ?telemetry:tele topo
   in
+  if prof then Profile.record Build p0;
   (* Probe ticks ride the barrier windows: [at_barrier] runs
      single-threaded once per window with the window's start time, the
      only point where cross-shard router state is stable.  Tick times are
@@ -243,6 +269,7 @@ let run_sharded ?inspect s ~shards =
       next_probe := now +. (Telemetry.conf t).Telemetry.probe_interval
     end
   in
+  let p0 = if prof then Profile.now_ns () else 0L in
   (match s.warmup with
   | Simulated ->
     Network.start_all net;
@@ -257,6 +284,7 @@ let run_sharded ?inspect s ~shards =
   | Analytic ->
     if s.policies then invalid_arg "Runner.run: analytic warm-up is policy-free only";
     Warmup.install net);
+  if prof then Profile.record Warmup p0;
   let warmup_converged = Network.shard_pending net = 0 in
   let warmup_delay = Network.last_activity net in
   let warmup_messages = Network.messages_sent net in
@@ -267,6 +295,7 @@ let run_sharded ?inspect s ~shards =
   (* Phase 2: the orchestrator (single-threaded, every domain parked)
      injects the failure at a time strictly above every shard clock, then
      releases the shards. *)
+  let p0 = if prof then Profile.now_ns () else 0L in
   let failure = make_failure topo s.failure in
   let t_fail = Network.shard_now net +. 1.0 in
   Network.inject_failure_sharded net ~at:t_fail failure;
@@ -278,6 +307,7 @@ let run_sharded ?inspect s ~shards =
     Network.enable_faults net ~rng;
     Fault_injector.install_sharded net ~t_fail schedule
   | _ -> ());
+  if prof then Profile.record Fail p0;
   let at_barrier =
     match tele with
     | Some t ->
@@ -287,7 +317,10 @@ let run_sharded ?inspect s ~shards =
       Some (probe_hook t)
     | None -> None
   in
+  let p0 = if prof then Profile.now_ns () else 0L in
   Network.run_shards ?at_barrier net ~cap:(t_fail +. s.sim_time_cap);
+  if prof then Profile.record Converge p0;
+  let p0 = if prof then Profile.now_ns () else 0L in
   (match inspect with Some f -> f net | None -> ());
   let converged = warmup_converged && Network.shard_pending net = 0 in
   let last = Network.last_activity net in
@@ -305,9 +338,11 @@ let run_sharded ?inspect s ~shards =
   let attribution =
     Option.map
       (fun user ->
+        let m0 = if prof then Profile.now_ns () else 0L in
         let merged =
           Trace.merge_renumber (List.map Trace.events (Network.shard_traces net))
         in
+        if prof then Profile.record Merge m0;
         List.iter (Trace.record user) merged;
         Attribution.analyze ~t_fail merged)
       net_config.Network.trace
@@ -322,6 +357,21 @@ let run_sharded ?inspect s ~shards =
     reg "attr.propagation" attr.totals.propagation;
     reg "attr.critical_hops" (float_of_int (List.length attr.critical_path))
   | _ -> ());
+  (match tele with
+  | Some t -> Telemetry.set_memory t (Network.memory_snapshot net)
+  | None -> ());
+  if prof then begin
+    for shard = 0 to shards - 1 do
+      let ssched = Network.shard_sched net shard in
+      Profile.counter_max
+        (Printf.sprintf "sched.max_live.shard%d" shard)
+        (Sched.max_live ssched);
+      Profile.counter_max
+        (Printf.sprintf "sched.slab_cap.shard%d" shard)
+        (Sched.slab_capacity ssched)
+    done;
+    Profile.record Finalize p0
+  end;
   {
     converged;
     warmup_delay;

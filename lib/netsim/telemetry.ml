@@ -40,6 +40,33 @@ type tick = { t : float; rows : row array }
 
 type metric = { mkind : kind; read : unit -> float }
 
+(* Memory accounting: estimated sizes from fixed word models (see
+   Rib.approx_bytes / Path.table_stats), so every field is a pure
+   function of simulated state — the same across jobs and safe to
+   compare structurally.  One [shard_memory] per shard scheduler
+   (pseudo-shard 0 for a sequential run). *)
+type shard_memory = {
+  shard : int;
+  routers : int;
+  rib_entries : int;  (** Adj-RIB-In entries across the shard's routers *)
+  rib_bytes : int;
+  path_nodes : int;  (** interned path nodes in the shard's table *)
+  path_bytes : int;
+  sched_max_live : int;  (** slab occupancy high-water *)
+  sched_slab_cap : int;
+}
+
+type memory = {
+  per_shard : shard_memory list;  (** sorted by shard *)
+  rib_bytes_total : int;
+  path_bytes_total : int;
+  path_sharing : float;  (** naive hop storage / shared-spine storage *)
+  trace_len : int;
+  trace_cap : int;
+  trace_dropped : int;
+  trace_spilled : int;
+}
+
 type t = {
   conf : config;
   metrics : (string, metric) Hashtbl.t;
@@ -47,6 +74,7 @@ type t = {
   mutable n_ticks : int;
   mutable dropped : int;
   mutable t_fail : float option;
+  mutable memory : memory option;
 }
 
 let create conf =
@@ -57,7 +85,10 @@ let create conf =
     n_ticks = 0;
     dropped = 0;
     t_fail = None;
+    memory = None;
   }
+
+let set_memory t m = t.memory <- Some m
 
 let conf t = t.conf
 
@@ -100,6 +131,7 @@ type report = {
   samples : sample array;
   progress : series_point array;
   counters : (string * kind * float) list;
+  memory : memory option;
 }
 
 (* Convergence progress at tick k: the fraction of end-of-run survivors
@@ -146,6 +178,7 @@ let report t =
     samples;
     progress = progress_of ticks;
     counters = counters t;
+    memory = t.memory;
   }
 
 (* --- Exporters ----------------------------------------------------------- *)
@@ -244,7 +277,29 @@ let report_json r =
         (json_string (kind_name kind))
         (json_float v))
     r.counters;
-  Buffer.add_string buf "]\n}\n";
+  Buffer.add_string buf "],\n";
+  (match r.memory with
+  | None -> Buffer.add_string buf "  \"memory\": null\n"
+  | Some m ->
+    Buffer.add_string buf "  \"memory\": {\n    \"per_shard\": [";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Printf.bprintf buf
+          "{\"shard\": %d, \"routers\": %d, \"rib_entries\": %d, \"rib_bytes\": %d, \
+           \"path_nodes\": %d, \"path_bytes\": %d, \"sched_max_live\": %d, \
+           \"sched_slab_cap\": %d}"
+          s.shard s.routers s.rib_entries s.rib_bytes s.path_nodes s.path_bytes
+          s.sched_max_live s.sched_slab_cap)
+      m.per_shard;
+    Printf.bprintf buf
+      "],\n    \"rib_bytes_total\": %d,\n    \"path_bytes_total\": %d,\n    \
+       \"path_sharing\": %s,\n    \"trace\": {\"len\": %d, \"cap\": %d, \"dropped\": \
+       %d, \"spilled\": %d}\n  }\n"
+      m.rib_bytes_total m.path_bytes_total
+      (json_float m.path_sharing)
+      m.trace_len m.trace_cap m.trace_dropped m.trace_spilled);
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let rec mkdir_p dir =
@@ -293,3 +348,15 @@ let pp_summary ppf r =
     r.probes r.interval
     (if r.dropped > 0 then Printf.sprintf " (%d dropped)" r.dropped else "")
     w_peak t_peak (max_level r)
+
+let pp_bytes ppf b =
+  if b >= 1 lsl 20 then Fmt.pf ppf "%.1f MiB" (float_of_int b /. 1048576.0)
+  else if b >= 1 lsl 10 then Fmt.pf ppf "%.1f KiB" (float_of_int b /. 1024.0)
+  else Fmt.pf ppf "%d B" b
+
+let pp_memory ppf m =
+  Fmt.pf ppf "rib %a over %d shard%s, paths %a (sharing %.2fx), trace %d/%d"
+    pp_bytes m.rib_bytes_total
+    (List.length m.per_shard)
+    (if List.length m.per_shard = 1 then "" else "s")
+    pp_bytes m.path_bytes_total m.path_sharing m.trace_len m.trace_cap

@@ -64,6 +64,40 @@ val dropped_ticks : t -> int
 val set_fail_time : t -> float -> unit
 (** Stamp the failure-injection time for the report. *)
 
+(** {1 Memory accounting} *)
+
+type shard_memory = {
+  shard : int;
+  routers : int;
+  rib_entries : int;  (** Adj-RIB-In entries across the shard's routers *)
+  rib_bytes : int;  (** estimated, from [Rib.approx_bytes]'s word model *)
+  path_nodes : int;  (** interned path nodes in the shard's hashcons table *)
+  path_bytes : int;
+  sched_max_live : int;  (** event-slab occupancy high-water *)
+  sched_slab_cap : int;  (** event-slab capacity *)
+}
+
+type memory = {
+  per_shard : shard_memory list;  (** sorted by shard; one entry
+      (pseudo-shard 0) for a sequential run *)
+  rib_bytes_total : int;
+  path_bytes_total : int;
+  path_sharing : float;
+      (** naive per-path hop storage over actual shared-spine storage *)
+  trace_len : int;  (** events held in the trace ring *)
+  trace_cap : int;
+  trace_dropped : int;
+  trace_spilled : int;
+}
+(** Every field is an estimate computed from simulated state alone (fixed
+    word models, entry counts) — deterministic for a given run, hence safe
+    inside the structurally-compared {!report}.  Wall-clock and GC data
+    live in [Bgp_engine.Profile], never here. *)
+
+val set_memory : t -> memory -> unit
+(** Attach the end-of-run memory snapshot (see [Network.memory_snapshot]);
+    the runner calls this at finalize. *)
+
 (** {1 Report} *)
 
 type sample = { time : float; row : row }
@@ -79,6 +113,7 @@ type report = {
       (** network-wide convergence progress: fraction of surviving routers
           whose best routes were already final; nondecreasing, ends at 1 *)
   counters : (string * kind * float) list;
+  memory : memory option;  (** end-of-run snapshot, if one was attached *)
 }
 (** Plain data only — safe to compare structurally, [Marshal] and send
     across domains. *)
@@ -105,3 +140,7 @@ val export : dir:string -> ?prefix:string -> report -> string list
 val pp_summary : Format.formatter -> report -> unit
 (** One-line human summary (probe count, peak queue work, max MRAI
     level). *)
+
+val pp_memory : Format.formatter -> memory -> unit
+(** One-line human summary of the memory snapshot (RIB/path bytes,
+    sharing ratio, trace occupancy). *)

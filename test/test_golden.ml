@@ -16,6 +16,7 @@ module As_topology = Bgp_topology.As_topology
 module Topology = Bgp_topology.Topology
 module Graph = Bgp_topology.Graph
 module Rng = Bgp_engine.Rng
+module Profile = Bgp_engine.Profile
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -153,6 +154,65 @@ let check_telemetry_neutral name scenario golden () =
     checkb (ctx "paths interned") true (counter "path.interned" > 0.0);
     checkb (ctx "intern hits") true (counter "path.intern_hits" > 0.0)
 
+(* Arming the wall-clock profiler must not perturb any golden either: it
+   reads only the monotonic clock and GC statistics, never simulated
+   state, so all 12 pinned results stay bit-identical with --prof on. *)
+let check_profiler_neutral name scenario golden () =
+  Profile.start ();
+  check_family name scenario golden ();
+  match Profile.stop () with
+  | None -> Alcotest.fail (name ^ ": profiler was armed but returned no report")
+  | Some rep ->
+    checkb (name ^ ": profiler recorded phase spans") true
+      (List.exists
+         (fun (d : Profile.domain_report) ->
+           List.exists (fun (s : Profile.span) -> Profile.phase_kind s.Profile.kind)
+             d.Profile.spans)
+         rep.Profile.domains)
+
+(* Same bit-identity over the sharded engine, whose hot loop carries the
+   per-window span instrumentation.  The sharded engine's [events] count
+   differs from the sequential one (different window bookkeeping), so
+   the reference is the same sharded run with the profiler off. *)
+let check_profiler_neutral_sharded name scenario () =
+  let fields (r : Runner.result) =
+    ( ( r.Runner.converged,
+        r.Runner.warmup_delay,
+        r.Runner.convergence_delay,
+        r.Runner.messages,
+        r.Runner.adverts ),
+      ( r.Runner.withdrawals,
+        r.Runner.warmup_messages,
+        r.Runner.max_queue,
+        r.Runner.events,
+        r.Runner.issues ) )
+  in
+  Array.iter
+    (fun i ->
+      let scenario =
+        { scenario with Runner.sharding = Some 2; Runner.seed = scenario.Runner.seed + i }
+      in
+      let off = Runner.run scenario in
+      Profile.start ();
+      let on = Runner.run scenario in
+      let rep = Profile.stop () in
+      checkb (Printf.sprintf "%s seed+%d: sharded run identical with --prof on" name i)
+        true
+        (fields off = fields on);
+      match rep with
+      | None -> Alcotest.fail (name ^ ": profiler was armed but returned no report")
+      | Some rep ->
+        checkb (Printf.sprintf "%s seed+%d: per-shard compute spans recorded" name i)
+          true
+          (List.exists
+             (fun (d : Profile.domain_report) ->
+               List.exists
+                 (fun (s : Profile.span) ->
+                   s.Profile.kind = Profile.Compute && s.Profile.shard >= 0)
+                 d.Profile.spans)
+             rep.Profile.domains))
+    [| 0; 1; 2; 3 |]
+
 let () =
   Alcotest.run "golden"
     [
@@ -173,5 +233,16 @@ let () =
             (check_telemetry_neutral "realistic" realistic_scenario realistic_golden);
           Alcotest.test_case "Tdown" `Quick
             (check_telemetry_neutral "tdown" tdown_scenario tdown_golden);
+        ] );
+      ( "profiler-neutral",
+        [
+          Alcotest.test_case "flat (4 seeds)" `Quick
+            (check_profiler_neutral "flat" flat_scenario flat_golden);
+          Alcotest.test_case "realistic (4 seeds)" `Quick
+            (check_profiler_neutral "realistic" realistic_scenario realistic_golden);
+          Alcotest.test_case "Tdown (4 seeds)" `Quick
+            (check_profiler_neutral "tdown" tdown_scenario tdown_golden);
+          Alcotest.test_case "flat sharded (4 seeds)" `Quick
+            (check_profiler_neutral_sharded "flat-sharded" flat_scenario);
         ] );
     ]

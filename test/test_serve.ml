@@ -102,13 +102,74 @@ let test_status_contents () =
   drop dir ~seed:2 ~delay:3.0 ~violations:[ "queue_drain"; "converged" ] ();
   ignore (Serve.scan t);
   let s = Serve.handle t "status" in
-  checkb "schema" true (contains s "\"schema\":\"bgp-serve-status/1\"");
+  checkb "schema" true (contains s "\"schema\":\"bgp-serve-status/2\"");
   checki "trials" 2 (status_int t "trials");
   checkb "battery tally" true (contains s "\"pass\":1,\"fail\":1");
   checkb "violation names" true (contains s "\"queue_drain\":1");
+  (* The /2 additions: explicit-unit uptime, process RSS and GC gauges. *)
+  checkb "uptime_s gauge" true (contains s "\"uptime_s\":");
+  checkb "rss gauge" true (status_int t "rss_bytes" >= 0);
+  checkb "gc gauges" true (contains s "\"heap_words\":");
   let s2 = Serve.handle t "status" in
   checkb "request counter grew" true
     (contains s2 "\"requests\":" && not (String.equal s s2))
+
+(* Prometheus text exposition (0.0.4): every sample line's metric must be
+   declared by HELP/TYPE lines, and every value must parse as a float. *)
+let test_metrics_well_formed () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let t = Serve.create ~dir () in
+  drop dir ~seed:1 ~delay:2.0 ();
+  drop dir ~seed:2 ~delay:3.0 ~violations:[ "queue_drain" ] ();
+  ignore (Serve.scan t);
+  let body = Serve.handle t "metrics" in
+  checkb "ends with a newline" true
+    (String.length body > 0 && body.[String.length body - 1] = '\n');
+  let declared = Hashtbl.create 16 in
+  let samples = ref 0 in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.starts_with ~prefix:"# HELP " line
+                 || String.starts_with ~prefix:"# TYPE " line then begin
+           let rest = String.sub line 7 (String.length line - 7) in
+           let name =
+             match String.index_opt rest ' ' with
+             | Some i -> String.sub rest 0 i
+             | None -> rest
+           in
+           Hashtbl.replace declared name ()
+         end
+         else begin
+           incr samples;
+           let metric =
+             match (String.index_opt line '{', String.index_opt line ' ') with
+             | Some b, _ -> String.sub line 0 b
+             | None, Some sp -> String.sub line 0 sp
+             | None, None -> Alcotest.failf "malformed sample line %S" line
+           in
+           checkb (Printf.sprintf "%s declared by HELP/TYPE" metric) true
+             (Hashtbl.mem declared metric);
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "no value in %S" line
+           | Some i ->
+             let v = String.sub line (i + 1) (String.length line - i - 1) in
+             if float_of_string_opt v = None then
+               Alcotest.failf "value %S is not a float (line %S)" v line
+         end);
+  checkb "has samples" true (!samples > 0);
+  checkb "campaign counters exposed" true
+    (contains body "bgp_serve_trials 2"
+    && contains body "bgp_serve_battery_fail_total 1");
+  checkb "tail quantiles labeled" true
+    (contains body "bgp_serve_tail_seconds{quantile=\"0.95\"}");
+  checkb "process gauges exposed" true
+    (contains body "bgp_process_resident_memory_bytes"
+    && contains body "bgp_gc_heap_words");
+  (* The metrics verb is itself counted in status. *)
+  checkb "metrics counted in status" true
+    (contains (Serve.handle t "status") "\"metrics\":1")
 
 let test_report_and_flame () =
   let dir = fresh_dir () in
@@ -185,6 +246,8 @@ let () =
           Alcotest.test_case "status carries battery and counters" `Quick
             test_status_contents;
           Alcotest.test_case "report and flame render" `Quick test_report_and_flame;
+          Alcotest.test_case "metrics exposition well-formed" `Quick
+            test_metrics_well_formed;
           Alcotest.test_case "corrupt sidecar reported once" `Quick
             test_corrupt_reported_once;
         ] );

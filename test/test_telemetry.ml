@@ -14,6 +14,7 @@ module Network = Bgp_netsim.Network
 module Runner = Bgp_netsim.Runner
 module Telemetry = Bgp_netsim.Telemetry
 module Bench_report = Bgp_experiments.Bench_report
+module Profile = Bgp_engine.Profile
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -25,10 +26,10 @@ let fixed_topo n edges =
   Topology.of_graph (Rng.create 99) g
 
 let scenario_of ?(telemetry = None) ?(scheme = Mrai.Static 1.25) ?(failure = Runner.Fraction 0.1)
-    ?(seed = 7) topo =
+    ?sharding ?(seed = 7) topo =
   let config = Config.(with_mrai scheme default) in
   let net = { (Network.config_default config) with Network.telemetry } in
-  Runner.scenario ~net ~failure ~seed topo
+  Runner.scenario ~net ~failure ~seed ?sharding topo
 
 let flat n = Runner.Flat { spec = Degree_dist.skewed_70_30; n }
 let tele_05 = Some (Telemetry.config ~probe_interval:0.5 ())
@@ -127,6 +128,85 @@ let test_probes_deterministic_across_jobs () =
       | Some rep -> checkb "probes present" true (rep.Telemetry.probes > 0)
       | None -> Alcotest.fail "missing report")
     seq
+
+(* --- Invariance across shard counts ---------------------------------------- *)
+
+(* Routing-relevant counters only: the scheduler and path-interning
+   counters (sched/path prefixes) legitimately differ across shard
+   counts (per-shard schedulers, per-shard hashcons tables), as does
+   the memory snapshot's per-shard breakdown. *)
+let routing_counters (rep : Telemetry.report) =
+  let prefixes = [ "net."; "router."; "queue."; "mrai."; "damping."; "attr." ] in
+  List.filter
+    (fun (n, _, _) -> List.exists (fun p -> String.starts_with ~prefix:p n) prefixes)
+    rep.Telemetry.counters
+
+let routing_view (rep : Telemetry.report) =
+  ( (rep.Telemetry.probes, rep.Telemetry.dropped, rep.Telemetry.t_fail),
+    (rep.Telemetry.progress, rep.Telemetry.samples, routing_counters rep) )
+
+(* Base is [--shards 1]: the sharded engine stops probing at its
+   quiescence barrier, so its final probe tick can differ from the
+   sequential engine's (the same acknowledged boundary difference as the
+   executed-event count); within the sharded engine every k must agree
+   exactly. *)
+let test_report_invariant_across_shards () =
+  let run sharding =
+    let r = Runner.run (scenario_of ~telemetry:tele_05 ~sharding (flat 30)) in
+    checkb "converged" true r.Runner.converged;
+    Option.get r.Runner.report
+  in
+  let base = run 1 in
+  let base_mem = Option.get base.Telemetry.memory in
+  List.iter
+    (fun k ->
+      let rep = run k in
+      checkb
+        (Printf.sprintf
+           "probes/progress/samples/routing counters identical at --shards %d" k)
+        true
+        (routing_view base = routing_view rep);
+      let mem = Option.get rep.Telemetry.memory in
+      checki (Printf.sprintf "k=%d: one memory entry per shard" k) k
+        (List.length mem.Telemetry.per_shard);
+      checki (Printf.sprintf "k=%d: every router owned by exactly one shard" k) 30
+        (List.fold_left
+           (fun acc (s : Telemetry.shard_memory) -> acc + s.Telemetry.routers)
+           0 mem.Telemetry.per_shard);
+      (* Final RIB contents are bit-identical for every shard count, so
+         the word-model totals must agree exactly. *)
+      checki (Printf.sprintf "k=%d: RIB bytes invariant" k)
+        base_mem.Telemetry.rib_bytes_total mem.Telemetry.rib_bytes_total)
+    [ 1; 2; 4 ]
+
+let test_memory_snapshot_sharded () =
+  let r = Runner.run (scenario_of ~telemetry:tele_05 ~sharding:4 (flat 40)) in
+  let rep = Option.get r.Runner.report in
+  let mem = Option.get rep.Telemetry.memory in
+  checki "four shards" 4 (List.length mem.Telemetry.per_shard);
+  List.iter
+    (fun (s : Telemetry.shard_memory) ->
+      checkb (Printf.sprintf "shard %d has routers" s.Telemetry.shard) true
+        (s.Telemetry.routers > 0);
+      checkb (Printf.sprintf "shard %d has RIB state" s.Telemetry.shard) true
+        (s.Telemetry.rib_entries > 0 && s.Telemetry.rib_bytes > 0);
+      checkb (Printf.sprintf "shard %d interned paths" s.Telemetry.shard) true
+        (s.Telemetry.path_nodes > 0 && s.Telemetry.path_bytes > 0);
+      checkb (Printf.sprintf "shard %d scheduler high-water sane" s.Telemetry.shard)
+        true
+        (s.Telemetry.sched_max_live > 0
+        && s.Telemetry.sched_max_live <= s.Telemetry.sched_slab_cap))
+    mem.Telemetry.per_shard;
+  checkb "hashcons sharing >= 1" true (mem.Telemetry.path_sharing >= 1.0);
+  (* The memory snapshot rides in report_json (additively; the schema is
+     unchanged). *)
+  let json = Bench_report.of_string (Telemetry.report_json rep) in
+  (match Option.bind (Bench_report.member "memory" json)
+           (Bench_report.member "rib_bytes_total") with
+  | Some v ->
+    checkb "rib_bytes_total in json" true
+      (Bench_report.to_float v = Some (float_of_int mem.Telemetry.rib_bytes_total))
+  | None -> Alcotest.fail "no memory object in report json")
 
 (* --- No perturbation when disabled (and when enabled) ---------------------- *)
 
@@ -341,6 +421,68 @@ let test_bench_report_roundtrip () =
     (Bench_report.Parse_error "trailing garbage at 3") (fun () ->
       ignore (Bench_report.of_string "{} x"))
 
+(* --- Profiler report (bgp-prof/1) ------------------------------------------- *)
+
+let test_prof_json_roundtrip () =
+  Profile.start ();
+  let t0 = Profile.now_ns () in
+  Profile.record Profile.Compute ~shard:2 t0;
+  Profile.record Profile.Build t0;
+  Profile.accum Profile.Mailbox_post (Profile.now_ns ());
+  Profile.counter_add "test.adds" 3;
+  Profile.counter_max "test.high_water" 7;
+  Profile.counter_max "test.high_water" 5;
+  match Profile.stop () with
+  | None -> Alcotest.fail "armed profiler returned no report"
+  | Some r ->
+    checkb "wall nonnegative" true (r.Profile.wall_ns >= 0L);
+    checkb "stop disarms" true (Profile.stop () = None);
+    let json = Bench_report.of_string (Profile.to_json r) in
+    let str k j = Option.bind (Bench_report.member k j) Bench_report.to_str in
+    let num k j = Option.bind (Bench_report.member k j) Bench_report.to_float in
+    checkb "schema" true (str "schema" json = Some "bgp-prof/1");
+    checkb "wall_s present" true (num "wall_s" json <> None);
+    let domains =
+      match Option.bind (Bench_report.member "domains" json) Bench_report.to_list with
+      | Some (_ :: _ as l) -> l
+      | _ -> Alcotest.fail "no domains array"
+    in
+    let spans =
+      List.concat_map
+        (fun d ->
+          Option.value ~default:[]
+            (Option.bind (Bench_report.member "spans" d) Bench_report.to_list))
+        domains
+    in
+    checkb "compute span at shard 2 survives the round-trip" true
+      (List.exists
+         (fun s -> str "span" s = Some "compute" && num "shard" s = Some 2.0)
+         spans);
+    checkb "build span at shard -1" true
+      (List.exists
+         (fun s -> str "span" s = Some "build" && num "shard" s = Some (-1.0))
+         spans);
+    (match
+       Option.bind (Bench_report.member "counters" json)
+         (Bench_report.member "test.high_water")
+     with
+    | Some v -> checkb "counter_max keeps the max" true (Bench_report.to_float v = Some 7.0)
+    | None -> Alcotest.fail "counters object missing test.high_water");
+    checkb "summarize labels the spans" true
+      (List.exists
+         (fun (l, _, n) -> l = "domain0/shard2/compute" && n = 1)
+         (Profile.summarize r));
+    (* Every flamegraph line is "stack<space>integer". *)
+    String.split_on_char '\n' (Profile.to_flamegraph r)
+    |> List.iter (fun line ->
+           if line <> "" then
+             match String.rindex_opt line ' ' with
+             | None -> Alcotest.failf "malformed flamegraph line %S" line
+             | Some i ->
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               if int_of_string_opt v = None then
+                 Alcotest.failf "flamegraph value not an integer in %S" line)
+
 (* --- Pool runtime metrics --------------------------------------------------- *)
 
 let test_pool_domain_stats () =
@@ -383,6 +525,10 @@ let () =
             test_counters_match_result;
           Alcotest.test_case "deterministic across jobs" `Quick
             test_probes_deterministic_across_jobs;
+          Alcotest.test_case "invariant across shard counts" `Quick
+            test_report_invariant_across_shards;
+          Alcotest.test_case "memory snapshot (sharded)" `Quick
+            test_memory_snapshot_sharded;
           Alcotest.test_case "off/on: flat unchanged" `Quick
             test_disabled_changes_nothing_flat;
           Alcotest.test_case "off/on: realistic unchanged" `Quick
@@ -406,6 +552,10 @@ let () =
       ( "bench-report",
         [
           Alcotest.test_case "json round-trip" `Quick test_bench_report_roundtrip;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "bgp-prof/1 round-trip" `Quick test_prof_json_roundtrip;
         ] );
       ( "pool",
         [ Alcotest.test_case "per-domain stats" `Quick test_pool_domain_stats ] );
