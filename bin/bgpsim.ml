@@ -63,6 +63,7 @@ type opts = {
   hold_time : float option;
   validate : bool;
   shards : int option;
+  dest_sample : int option;
 }
 
 (* --shards 0 = auto: split the recommended domain budget with the trial
@@ -140,7 +141,20 @@ let build_scenario o =
           (Runner.scenario ~net:net_config ~failure:(Runner.Fraction o.failure)
              ~seed:o.seed ~validate:o.validate
              ~warmup:(if o.analytic then Runner.Analytic else Runner.Simulated)
-             ~policies:o.policies ?sharding:o.shards topo)))
+             ~policies:o.policies ?sharding:o.shards ?dest_sample:o.dest_sample topo)))
+
+(* The active fraction of the prefix universe under --dest-sample (1.0
+   without it); reports scale message totals by its inverse. *)
+let sampled_fraction (scenario : Runner.scenario) =
+  match scenario.Runner.dest_sample with
+  | None -> 1.0
+  | Some k ->
+    let topo = Runner.topology_of scenario in
+    let universe =
+      Config.num_dests scenario.Runner.net.Network.bgp
+        ~n_ases:topo.Bgp_topology.Topology.n_ases
+    in
+    Float.min 1.0 (float_of_int (max 1 k) /. float_of_int universe)
 
 let write_file ?(quiet = true) path content =
   let oc = open_out path in
@@ -266,6 +280,15 @@ let run_main opts trials jobs trace_n trace_file probe_interval telemetry_dir pr
       (Bgp_engine.Stats.summarize delays);
     Fmt.pr "update messages  : %a@." Bgp_engine.Stats.pp_summary
       (Bgp_engine.Stats.summarize msgs);
+    (match scenario.Runner.dest_sample with
+    | None -> ()
+    | Some k ->
+      let frac = sampled_fraction scenario in
+      Fmt.pr
+        "dest sample      : %d destination(s) = %.1f%% of the universe; extrapolated \
+         full-universe messages ~ %.0f mean@."
+        k (100.0 *. frac)
+        ((Bgp_engine.Stats.summarize msgs).Bgp_engine.Stats.mean /. frac));
     (* Where the trial pool's wall time went: per-domain busy vs deque
        wait for the last batch (the trials themselves, since the trial
        fan-out is the only pool call here). *)
@@ -395,6 +418,11 @@ let analyze_main opts capacity spill json_path top max_hops per_dest flame_path 
               opts.seed r.Runner.convergence_delay r.Runner.messages
               (Trace.spilled trace + Trace.length trace)
               (Trace.spilled trace) (Trace.dropped trace);
+            (match scenario.Runner.dest_sample with
+            | Some k ->
+              Fmt.pr "dest sample: %d destination(s) = %.1f%% of the universe@." k
+                (100.0 *. sampled_fraction scenario)
+            | None -> ());
             Fmt.pr "%a" (Attribution.pp ~top ~max_hops) attr;
             if per_dest then Fmt.pr "%a" (Attribution.pp_per_dest ~top) attr
           end;
@@ -484,6 +512,122 @@ let chaos_main opts trials jobs max_events horizon replay_every capacity out
       else if Chaos.violating campaign = [] then 0
       else 1)
 
+(* --- churn ----------------------------------------------------------------- *)
+
+module Churn = Bgp_netsim.Churn
+module Churn_report = Bgp_experiments.Churn_report
+
+let churn_workload_of ~name ~prefixes ~rate ~duration ~flaps ~hold ~spread ~stages ~gap =
+  match name with
+  | "poisson" -> Ok (Churn.Poisson { rate; duration; prefixes })
+  | "flap-storm" -> Ok (Churn.Flap_storm { prefixes; flaps; hold; spread })
+  | "staged-failover" -> Ok (Churn.Staged_failover { stages; gap; prefixes })
+  | s -> Error (Printf.sprintf "unknown workload %S (poisson|flap-storm|staged-failover)" s)
+
+let churn_main opts trials jobs workload_name churn_prefixes rate duration flaps hold
+    spread stages gap window prefix_mean max_prefixes out prof prof_flame quiet =
+  if jobs < 0 then begin
+    Fmt.epr "error: --jobs must be >= 0 (0 = auto), got %d@." jobs;
+    exit 1
+  end;
+  if opts.dest_sample <> None then begin
+    (* The schedule is generated against the full plan at the CLI layer,
+       before the runner draws its sample — the two would disagree. *)
+    Fmt.epr "error: --dest-sample applies to run/analyze, not churn@.";
+    exit 1
+  end;
+  let jobs = if jobs = 0 then Bgp_engine.Pool.default_jobs () else jobs in
+  let opts = { opts with shards = resolve_shards ~jobs ~quiet opts.shards } in
+  (* Policy-free churn always warms up analytically: the measured queue
+     high-water and throughput then reflect the load phase alone. *)
+  let opts = { opts with analytic = opts.analytic || not opts.policies } in
+  with_prof ~prof ~prof_flame ~quiet @@ fun () ->
+  match build_scenario opts with
+  | Error m ->
+    Fmt.epr "error: %s@." m;
+    1
+  | Ok base -> (
+    match
+      churn_workload_of ~name:workload_name ~prefixes:churn_prefixes ~rate ~duration
+        ~flaps ~hold ~spread ~stages ~gap
+    with
+    | Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+    | Ok workload -> (
+      (* Per trial: a seeded heavy-tailed prefix plan, the topology the
+         runner will build for that seed, and a schedule generated
+         against both — all pure functions of the trial seed, so the
+         whole campaign replays bit-identically at any --jobs/--shards. *)
+      let make_trial i =
+        let seed = opts.seed + i in
+        let scenario = { base with Runner.seed = seed } in
+        let topo = Runner.topology_of scenario in
+        let rng = Bgp_engine.Rng.create (seed lxor 0x6368726e (* "chrn" *)) in
+        let rng_plan = Bgp_engine.Rng.split rng in
+        let rng_churn = Bgp_engine.Rng.split rng in
+        let n_ases = topo.Bgp_topology.Topology.n_ases in
+        let counts =
+          Churn.prefix_counts ~rng:rng_plan ~n_ases ~mean:prefix_mean
+            ~max_prefixes
+        in
+        let bgp = Config.with_prefix_plan counts scenario.Runner.net.Network.bgp in
+        let net = { scenario.Runner.net with Network.bgp } in
+        let config = net.Network.bgp in
+        let schedule = Churn.generate ~rng:rng_churn ~config ~topo workload in
+        (match Churn.validate ~config ~topo ~horizon:(Churn.horizon schedule) schedule with
+        | Ok () -> ()
+        | Error m -> failwith ("generated churn schedule invalid (bug): " ^ m));
+        let universe = Config.num_dests config ~n_ases in
+        ( {
+            scenario with
+            Runner.net;
+            churn = Some schedule;
+            churn_window = window;
+          },
+          universe )
+      in
+      match List.init trials make_trial with
+      | exception (Invalid_argument m | Failure m) ->
+        Fmt.epr "error: %s@." m;
+        1
+      | trial_specs ->
+        let scenarios = List.map fst trial_specs in
+        let universe = match trial_specs with (_, u) :: _ -> u | [] -> 0 in
+        let results = Bgp_engine.Pool.map ~jobs Runner.run scenarios in
+        let report =
+          Churn_report.create ~workload:(Churn.kind_of_workload workload) ~window
+            ~prefixes:churn_prefixes ~universe ~sampled_fraction:1.0 ~jobs
+            ~shards:(Option.value ~default:1 opts.shards)
+        in
+        let ok = ref true in
+        List.iteri
+          (fun i r ->
+            if not r.Runner.converged then ok := false;
+            match r.Runner.churn with
+            | None ->
+              Fmt.epr "error: trial %d produced no churn stats (internal)@." i;
+              ok := false
+            | Some s ->
+              if s.Churn.unconverged > 0 then ok := false;
+              Churn_report.add report ~seed:(opts.seed + i) ~converged:r.Runner.converged s;
+              if not quiet then
+                Fmt.pr
+                  "seed %3d: %5d ops over %4d prefixes, sustained %8.1f upd/s (peak \
+                   %8.1f), queue %4d, settle p99 %6.3f s, unconverged %d@."
+                  (opts.seed + i) s.Churn.ops s.Churn.disturbed s.Churn.sustained_rate
+                  s.Churn.peak_window_rate s.Churn.queue_high_water s.Churn.p99
+                  s.Churn.unconverged)
+          results;
+        Fmt.pr "%a" Churn_report.pp_summary (Churn_report.summary report);
+        (match out with
+        | None -> ()
+        | Some "-" -> print_endline (Churn_report.to_json report)
+        | Some path ->
+          Churn_report.write report path;
+          if not quiet then Fmt.pr "wrote %s@." path);
+        if !ok then 0 else 1))
+
 (* --- Command line -------------------------------------------------------- *)
 
 let nodes =
@@ -565,10 +709,20 @@ let shards_arg =
                  jobs x shards stays near the core count).  Omit for the classic \
                  sequential engine.")
 
+let dest_sample_arg =
+  Arg.(value & opt (some int) None
+       & info [ "dest-sample" ] ~docv:"N"
+           ~doc:"Seeded destination subsampling: originate, warm and measure only a \
+                 random N-destination subset of the prefix universe (a fresh split of \
+                 the trial seed, so the subset is deterministic).  Per-prefix metrics \
+                 stay exact for the subset; message totals scale with the sampled \
+                 fraction, which the report echoes together with an extrapolated \
+                 full-universe estimate.")
+
 let opts_term =
   let mk nodes realistic spec_name failure seed scheme_name mrai low high up_th down_th
       batching tcp_batch per_dest bypass_name damping policies analytic hold_time
-      validate shards =
+      validate shards dest_sample =
     {
       nodes;
       realistic;
@@ -591,12 +745,13 @@ let opts_term =
       hold_time;
       validate;
       shards;
+      dest_sample;
     }
   in
   Term.(
     const mk $ nodes $ realistic $ spec_name $ failure $ seed $ scheme_name $ mrai $ low
     $ high $ up_th $ down_th $ batching $ tcp_batch $ per_dest $ bypass_name $ damping
-    $ policies $ analytic $ hold_time $ validate $ shards_arg)
+    $ policies $ analytic $ hold_time $ validate $ shards_arg $ dest_sample_arg)
 
 let trace_n =
   Arg.(value & opt (some int) None
@@ -812,6 +967,102 @@ let chaos_cmd =
       $ replay_every $ capacity $ chaos_out $ seed_violation $ chaos_sidecar_dir
       $ prof_arg $ prof_flame_arg $ quiet)
 
+let churn_workload_arg =
+  Arg.(value & opt string "flap-storm"
+       & info [ "workload" ] ~docv:"KIND"
+           ~doc:"Churn workload: poisson (memoryless announce/withdraw arrivals), \
+                 flap-storm (every target flaps N times), staged-failover (targets \
+                 withdraw/re-announce in timed waves).")
+
+let churn_prefixes_arg =
+  Arg.(value & opt int 1000
+       & info [ "prefixes" ] ~docv:"P"
+           ~doc:"Distinct prefixes the workload churns (clamped to the universe).")
+
+let churn_rate =
+  Arg.(value & opt float 50.0
+       & info [ "rate" ] ~docv:"OPS" ~doc:"Poisson: expected churn ops per second.")
+
+let churn_duration =
+  Arg.(value & opt float 20.0
+       & info [ "duration" ] ~docv:"SECONDS" ~doc:"Poisson: length of the arrival process.")
+
+let churn_flaps =
+  Arg.(value & opt int 3
+       & info [ "flaps" ] ~docv:"N" ~doc:"Flap storm: withdraw/re-announce cycles per prefix.")
+
+let churn_hold =
+  Arg.(value & opt float 1.0
+       & info [ "hold" ] ~docv:"SECONDS" ~doc:"Flap storm: down time per flap.")
+
+let churn_spread =
+  Arg.(value & opt float 5.0
+       & info [ "spread" ] ~docv:"SECONDS"
+           ~doc:"Flap storm: per-prefix start times are staggered uniformly over this span.")
+
+let churn_stages =
+  Arg.(value & opt int 4
+       & info [ "stages" ] ~docv:"N" ~doc:"Staged failover: number of waves.")
+
+let churn_gap =
+  Arg.(value & opt float 5.0
+       & info [ "gap" ] ~docv:"SECONDS"
+           ~doc:"Staged failover: seconds between waves (re-announce after half a gap).")
+
+let churn_window =
+  Arg.(value & opt float 0.5
+       & info [ "window" ] ~docv:"SECONDS" ~doc:"Throughput-sampling window width.")
+
+let churn_prefix_mean =
+  Arg.(value & opt float 4.0
+       & info [ "prefix-mean" ] ~docv:"MEAN"
+           ~doc:"Heavy-tailed prefix plan: target mean prefixes originated per AS \
+                 (bounded Pareto, every AS at least 1).")
+
+let churn_max_prefixes =
+  Arg.(value & opt int 10_000
+       & info [ "max-prefixes" ] ~docv:"N"
+           ~doc:"Heavy-tailed prefix plan: cap on prefixes per AS.")
+
+let churn_out =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~docv:"PATH"
+           ~doc:"Write the campaign report (schema bgp-churn/1: per-trial throughput, \
+                 queue high-water, pooled settle-delay tails) to PATH, or stdout for \
+                 '-'.  Name it *.churn.json and 'bgpsim serve' will fold it into its \
+                 gauges.")
+
+let churn_cmd =
+  let doc = "sustain a multi-prefix churn workload and measure steady-state behaviour" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generalizes the one-shot failure harness into a sustained load generator: \
+         every AS originates a seeded heavy-tailed set of prefixes (--prefix-mean, \
+         --max-prefixes), and a seeded open-ended schedule of announce/withdraw \
+         operations (--workload) drives the network through the failure instant.  A \
+         steady-state monitor reports sustained and peak update-processing \
+         throughput, the input-queue high-water mark, and per-prefix settle-delay \
+         tails (p50/p95/p99) measured from each prefix's last disturbance to its \
+         last Loc-RIB revision anywhere.";
+      `P
+        "The whole campaign is a pure function of the base seed: the same seed \
+         produces bit-identical reports at any --jobs and any --shards count.  \
+         After the schedule quiesces, every churned prefix's forwarding chain is \
+         checked; the command exits non-zero on any unconverged prefix or \
+         unconverged trial.  Composes with --failure (staged failover under a \
+         large-scale failure) and all scheme/queue options.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc ~man)
+    Term.(
+      const churn_main $ opts_term $ trials $ jobs $ churn_workload_arg
+      $ churn_prefixes_arg $ churn_rate $ churn_duration $ churn_flaps $ churn_hold
+      $ churn_spread $ churn_stages $ churn_gap $ churn_window $ churn_prefix_mean
+      $ churn_max_prefixes $ churn_out $ prof_arg $ prof_flame_arg $ quiet)
+
 (* --- serve ----------------------------------------------------------------- *)
 
 module Serve = Bgp_experiments.Serve
@@ -841,7 +1092,8 @@ let serve_main dir socket query max_requests scan_interval quiet =
 let serve_dir =
   Arg.(value & opt string "."
        & info [ "dir" ] ~docv:"DIR"
-           ~doc:"Campaign directory to watch for attribution sidecars (*.attr.json).")
+           ~doc:"Campaign directory to watch for attribution sidecars (*.attr.json) \
+                 and churn campaign reports (*.churn.json).")
 
 let serve_socket =
   Arg.(value & opt string "bgpsim-serve.sock"
@@ -896,6 +1148,7 @@ let serve_cmd =
 
 let cmd =
   let doc = "simulate BGP re-convergence after a large-scale failure" in
-  Cmd.group ~default:run_term (Cmd.info "bgpsim" ~doc) [ analyze_cmd; chaos_cmd; serve_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "bgpsim" ~doc)
+    [ analyze_cmd; chaos_cmd; churn_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,14 @@
 type mrai_mode = Per_peer | Per_dest
 type mrai_bypass = No_bypass | Cancel_on_improvement | Flap_threshold of int
 
+(* Non-uniform prefix numbering: [offsets.(a)] is the first destination id
+   AS [a] originates and [offsets.(n_ases)] the total universe size, so
+   AS [a] owns the contiguous block [offsets.(a) .. offsets.(a+1) - 1].
+   The uniform [prefixes_per_as] numbering is the special case
+   [offsets.(a) = a * prefixes_per_as] and stays on its historical
+   division-based fast path when no plan is set. *)
+type prefix_plan = { offsets : int array }
+
 type t = {
   mrai_scheme : Bgp_core.Mrai_controller.scheme;
   mrai_mode : mrai_mode;
@@ -15,6 +23,8 @@ type t = {
   dynamic_restart_timers : bool;
   damping : Bgp_core.Damping.config option;
   prefixes_per_as : int;
+  prefix_plan : prefix_plan option;
+  dest_sample : int array option;
 }
 
 let paper_processing_delay = Bgp_engine.Dist.Uniform { lo = 0.001; hi = 0.030 }
@@ -34,12 +44,89 @@ let default =
     dynamic_restart_timers = false;
     damping = None;
     prefixes_per_as = 1;
+    prefix_plan = None;
+    dest_sample = None;
   }
 
-let origin_as t ~dest = dest / t.prefixes_per_as
+let plan_of_counts counts =
+  let n = Array.length counts in
+  if n = 0 then invalid_arg "Config.plan_of_counts: empty counts";
+  let offsets = Array.make (n + 1) 0 in
+  for a = 0 to n - 1 do
+    if counts.(a) < 1 then invalid_arg "Config.plan_of_counts: every AS needs >= 1 prefix";
+    offsets.(a + 1) <- offsets.(a) + counts.(a)
+  done;
+  { offsets }
+
+let with_prefix_plan counts t = { t with prefix_plan = Some (plan_of_counts counts) }
+
+let with_dest_sample sample t =
+  let sample = Array.copy sample in
+  Array.sort Int.compare sample;
+  for i = 1 to Array.length sample - 1 do
+    if sample.(i) = sample.(i - 1) then
+      invalid_arg "Config.with_dest_sample: duplicate destination"
+  done;
+  if Array.length sample = 0 then invalid_arg "Config.with_dest_sample: empty sample";
+  if sample.(0) < 0 then invalid_arg "Config.with_dest_sample: negative destination";
+  { t with dest_sample = Some sample }
+
+let origin_as t ~dest =
+  match t.prefix_plan with
+  | None -> dest / t.prefixes_per_as
+  | Some { offsets } ->
+    (* Largest [a] with [offsets.(a) <= dest]: binary search over the
+       monotone offsets array. *)
+    let n = Array.length offsets - 1 in
+    if dest < 0 || dest >= offsets.(n) then
+      invalid_arg "Config.origin_as: destination outside the prefix plan";
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if offsets.(mid) <= dest then lo := mid else hi := mid - 1
+    done;
+    !lo
+
+(* Sampling membership: binary search in the sorted active-dest array. *)
+let dest_active t ~dest =
+  match t.dest_sample with
+  | None -> true
+  | Some sample ->
+    let lo = ref 0 and hi = ref (Array.length sample - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = sample.(mid) in
+      if v = dest then found := true else if v < dest then lo := mid + 1 else hi := mid - 1
+    done;
+    !found
 
 let dests_of_as t ~asn =
-  List.init t.prefixes_per_as (fun k -> (asn * t.prefixes_per_as) + k)
+  let all =
+    match t.prefix_plan with
+    | None -> List.init t.prefixes_per_as (fun k -> (asn * t.prefixes_per_as) + k)
+    | Some { offsets } ->
+      List.init (offsets.(asn + 1) - offsets.(asn)) (fun k -> offsets.(asn) + k)
+  in
+  match t.dest_sample with
+  | None -> all
+  | Some _ -> List.filter (fun d -> dest_active t ~dest:d) all
+
+let num_dests t ~n_ases =
+  match t.prefix_plan with
+  | None -> n_ases * t.prefixes_per_as
+  | Some { offsets } ->
+    if Array.length offsets <> n_ases + 1 then
+      invalid_arg "Config.num_dests: prefix plan sized for a different AS count";
+    offsets.(n_ases)
+
+let iter_active_dests t ~n_ases f =
+  match t.dest_sample with
+  | None ->
+    for dest = 0 to num_dests t ~n_ases - 1 do
+      f dest
+    done
+  | Some sample -> Array.iter f sample
 
 let with_mrai scheme t = { t with mrai_scheme = scheme }
 let with_discipline discipline t = { t with queue_discipline = discipline }

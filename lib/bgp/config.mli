@@ -21,6 +21,12 @@ type mrai_bypass =
           route has changed at least this many times since the last paced
           flush; earlier changes go out immediately *)
 
+type prefix_plan = { offsets : int array }
+(** Non-uniform prefix numbering: AS [a] originates the contiguous
+    destination block [offsets.(a) .. offsets.(a+1) - 1], and
+    [offsets.(n_ases)] is the universe size.  Built with
+    {!plan_of_counts} / {!with_prefix_plan}. *)
+
 type t = {
   mrai_scheme : Bgp_core.Mrai_controller.scheme;  (** eBGP sessions *)
   mrai_mode : mrai_mode;
@@ -52,6 +58,14 @@ type t = {
           Internet's ~200k destinations multiply the update load; raising
           this reproduces that scaling.  Destination id [d] belongs to AS
           [d / prefixes_per_as]. *)
+  prefix_plan : prefix_plan option;
+      (** heavy-tailed (or otherwise non-uniform) per-AS prefix counts;
+          [None] (default) keeps the uniform [prefixes_per_as] numbering
+          and its historical division-based paths bit-identical *)
+  dest_sample : int array option;
+      (** sorted active-destination subset: routers originate (and the
+          warm-up installs) only these destinations, bounding RIB memory
+          for internet-scale universes.  [None] (default) = all active. *)
 }
 
 val default : t
@@ -66,7 +80,34 @@ val paper_processing_delay : Bgp_engine.Dist.t
 (** U(0.001, 0.030) seconds. *)
 
 val origin_as : t -> dest:int -> int
-(** The AS that originates destination [dest]. *)
+(** The AS that originates destination [dest] — a division with the
+    uniform numbering, a binary search over the plan offsets otherwise.
+    @raise Invalid_argument when a plan is set and [dest] lies outside
+    it. *)
 
 val dests_of_as : t -> asn:int -> int list
-(** The destinations AS [asn] originates. *)
+(** The destinations AS [asn] originates, restricted to the active sample
+    when one is set. *)
+
+val plan_of_counts : int array -> prefix_plan
+(** Cumulative offsets from per-AS prefix counts (index = AS id).
+    @raise Invalid_argument on an empty array or a count below 1. *)
+
+val with_prefix_plan : int array -> t -> t
+(** Install [plan_of_counts counts] as the prefix numbering. *)
+
+val with_dest_sample : int array -> t -> t
+(** Restrict origination to this destination subset (copied, sorted).
+    @raise Invalid_argument on duplicates, negatives or an empty array. *)
+
+val num_dests : t -> n_ases:int -> int
+(** Size of the destination universe (before sampling).
+    @raise Invalid_argument when a plan sized for a different AS count is
+    installed. *)
+
+val dest_active : t -> dest:int -> bool
+(** Is [dest] in the active sample?  Always [true] without one. *)
+
+val iter_active_dests : t -> n_ases:int -> (int -> unit) -> unit
+(** Visit every active destination in ascending order: the whole universe
+    without a sample, exactly the sample with one. *)

@@ -73,6 +73,8 @@ let in_table t dest =
     table
 
 let originate t dest = Hashtbl.replace t.local dest ()
+let unoriginate t dest = Hashtbl.remove t.local dest
+let originates t dest = Hashtbl.mem t.local dest
 
 let set_in t dest ~peer ~kind ?rel path =
   if path_contains path t.asn then

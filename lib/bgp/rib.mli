@@ -28,6 +28,13 @@ val originate : t -> dest -> unit
 (** Install a locally-originated route (used for the router's own AS
     prefix). *)
 
+val unoriginate : t -> dest -> unit
+(** Remove the locally-originated route (a churn workload withdrawing one
+    of its own prefixes); no-op if absent.  Learned Adj-RIB-In entries
+    for [dest] are untouched. *)
+
+val originates : t -> dest -> bool
+
 val set_in :
   t -> dest -> peer:router_id -> kind:session_kind -> ?rel:relationship -> path -> unit
 (** Replace the Adj-RIB-In entry from [peer] for [dest].  [rel] is the

@@ -88,6 +88,11 @@ type t = {
   mutable msgs_processed : int;
   mutable max_unfinished_work : float;
   mutable rib_changes : int;  (* export-relevant Loc-RIB revisions *)
+  (* Steady-state observer: called on every export-relevant Loc-RIB
+     revision with (dest, now).  Pure observation — it must not draw
+     randomness or schedule events (the churn monitor records per-prefix
+     settle times through it). *)
+  mutable on_rib_change : (int -> float -> unit) option;
 }
 
 let create ~sched ~rng ~paths ~config ~id ~asn ~degree ?tracer cb =
@@ -126,7 +131,10 @@ let create ~sched ~rng ~paths ~config ~id ~asn ~degree ?tracer cb =
     msgs_processed = 0;
     max_unfinished_work = 0.0;
     rib_changes = 0;
+    on_rib_change = None;
   }
+
+let set_rib_change_hook t f = t.on_rib_change <- Some f
 
 let id t = t.id
 let asn t = t.asn
@@ -431,6 +439,9 @@ let rearm_running_timers t =
 let reconsider t dest =
   if Rib.decide t.rib dest then begin
     t.rib_changes <- t.rib_changes + 1;
+    (match t.on_rib_change with
+    | Some f -> f dest (Sched.now t.sched)
+    | None -> ());
     activity t;
     List.iter (fun peer -> schedule_export t peer dest) t.peer_states
   end
@@ -643,6 +654,27 @@ let start t =
       Rib.originate t.rib dest;
       reconsider t dest)
     (Config.dests_of_as t.config ~asn:t.asn)
+
+(* Churn entry points: a locally-originated prefix comes or goes at the
+   current simulated time, threaded through the normal decision process
+   (so exports, MRAI pacing and tracing behave exactly as for a learned
+   route change).  [cause] is the Trace.Fault root the churn installer
+   recorded for this op. *)
+let announce_origin t ?(cause = -1) dest =
+  if not t.failed then begin
+    t.cur_cause <- cause;
+    Rib.originate t.rib dest;
+    reconsider t dest;
+    t.cur_cause <- -1
+  end
+
+let withdraw_origin t ?(cause = -1) dest =
+  if not t.failed then begin
+    t.cur_cause <- cause;
+    Rib.unoriginate t.rib dest;
+    reconsider t dest;
+    t.cur_cause <- -1
+  end
 
 let warm_install t ~dest ~local ~entries ~advertised =
   if local then Rib.originate t.rib dest;

@@ -87,6 +87,23 @@ val add_peer :
 val start : t -> unit
 (** Originate this router's AS prefix and export it. *)
 
+val announce_origin : t -> ?cause:int -> dest -> unit
+(** (Re-)originate one locally-owned prefix at the current simulated time
+    and export the change through the normal decision process — the
+    churn workload's announce op.  [cause] is the trace id of the churn
+    root event (default [-1], untraced).  No-op on a failed router. *)
+
+val withdraw_origin : t -> ?cause:int -> dest -> unit
+(** Withdraw one locally-originated prefix; the decision process falls
+    back to any learned route (or sends withdrawals).  The churn
+    workload's withdraw op. *)
+
+val set_rib_change_hook : t -> (dest -> float -> unit) -> unit
+(** Observe every export-relevant Loc-RIB revision as [(dest, now)].
+    Pure observation: the hook must not draw randomness or schedule
+    events, so installing one never perturbs the simulation.  The churn
+    monitor records per-prefix settle times through it. *)
+
 val warm_install :
   t ->
   dest:dest ->

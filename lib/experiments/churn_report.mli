@@ -1,0 +1,58 @@
+(** The churn campaign artifact ([bgpsim churn]): per-trial steady-state
+    measurements plus the merged cross-trial summary, serialized as one
+    JSON document (schema ["bgp-churn/1"]) that CI archives and
+    [bgpsim serve] folds into its gauges.
+
+    The dependency budget rules out a JSON library; the emitter is
+    hand-rolled and the reader is built on {!Bgp_netsim.Json_lite}. *)
+
+type t
+
+val create :
+  workload:string ->
+  window:float ->
+  prefixes:int ->
+  universe:int ->
+  sampled_fraction:float ->
+  jobs:int ->
+  shards:int ->
+  t
+(** Report skeleton carrying the campaign-wide settings.  [universe] is
+    the full prefix-universe size, [sampled_fraction] the active share
+    under destination subsampling (1.0 without [--dest-sample]). *)
+
+val add : t -> seed:int -> converged:bool -> Bgp_netsim.Churn.stats -> unit
+(** Fold one trial (in seed order; histograms merge bucket-wise). *)
+
+type summary = {
+  workload : string;
+  trials : int;
+  prefixes : int;
+  universe : int;
+  sampled_fraction : float;
+  ops : int;  (** total churn ops across trials *)
+  sustained_rate : float;  (** mean of per-trial sustained updates/sec *)
+  peak_window_rate : float;  (** max single-window rate of any trial *)
+  queue_high_water : int;  (** max across trials *)
+  disturbed : int;  (** summed disturbed prefixes *)
+  unconverged : int;  (** summed post-quiesce inconsistent prefixes *)
+  converged_trials : int;
+  p50 : float;  (** pooled per-prefix settle-delay percentiles *)
+  p95 : float;
+  p99 : float;
+}
+
+val summary : t -> summary
+
+val to_json : t -> string
+val write : t -> string -> unit
+(** Atomic (temp file + rename), like the attribution sidecars. *)
+
+val is_churn_path : string -> bool
+(** Name ends in [".churn.json"] — what [bgpsim serve] scans for. *)
+
+val read : string -> (summary, string) result
+(** Re-derive the summary from a written report (serve + CI validation).
+    Accepts only schema ["bgp-churn/1"]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -7,6 +7,8 @@ type t = {
   acc : M.t;
   seen : (string, unit) Hashtbl.t;  (* sidecar file names already folded *)
   started : float;  (* wall clock at create, for uptime / trials-per-sec *)
+  mutable churn : (string * Churn_report.summary) list;
+      (* (file name, summary) of folded churn campaigns, newest first *)
   mutable scans : int;
   mutable folded : int;
   mutable requests : int;
@@ -24,6 +26,7 @@ let create ?worst_capacity ~dir () =
     acc = M.create ?worst_capacity ();
     seen = Hashtbl.create 256;
     started = Unix.gettimeofday ();
+    churn = [];
     scans = 0;
     folded = 0;
     requests = 0;
@@ -72,6 +75,15 @@ let scan t =
           M.add_sidecar t.acc sc;
           incr n
         | Error e -> M.skip t.acc e
+      end
+      else if Churn_report.is_churn_path name && not (Hashtbl.mem t.seen name) then begin
+        (* Churn campaign artifacts (bgp-churn/1) ride the same scan:
+           their summaries back the workload gauges, separate from the
+           attribution accumulator. *)
+        Hashtbl.add t.seen name ();
+        match Churn_report.read (Filename.concat t.dir name) with
+        | Ok s -> t.churn <- (name, s) :: t.churn
+        | Error e -> M.skip t.acc e
       end)
     names;
   t.folded <- t.folded + !n;
@@ -104,6 +116,17 @@ let status_json t =
        (String.concat ","
           (List.map (fun (n, c) -> Printf.sprintf "%s:%d" (J.escape n) c) r.M.r_violations)));
   Buffer.add_string b (Printf.sprintf ",\"trials_per_sec\":%s" (f rate));
+  (* Active workload kind: the newest folded churn campaign's, or
+     "one-shot" when only attribution sidecars have been folded. *)
+  let workload =
+    match t.churn with
+    | (_, s) :: _ -> Some s.Churn_report.workload
+    | [] -> if r.M.r_trials > 0 then Some "one-shot" else None
+  in
+  Buffer.add_string b
+    (Printf.sprintf ",\"workload\":%s,\"churn_campaigns\":%d"
+       (match workload with None -> "null" | Some w -> J.escape w)
+       (List.length t.churn));
   (* /2 additions: explicit-unit uptime plus process gauges, so a status
      poll answers "is this instance healthy" without the metrics verb. *)
   let gc = Gc.quick_stat () in
@@ -163,6 +186,32 @@ let metrics_text t =
     ~typ:"counter" (float_of_int r.M.r_pass);
   sample "bgp_serve_battery_fail_total" ~help:"Trials whose shape battery failed."
     ~typ:"counter" (float_of_int r.M.r_fail);
+  sample "bgp_churn_campaigns" ~help:"Churn campaign artifacts folded." ~typ:"gauge"
+    (float_of_int (List.length t.churn));
+  (* Per-campaign steady-state gauges, labeled by artifact file name. *)
+  if t.churn <> [] then begin
+    let labeled name help each =
+      Printf.bprintf b "# HELP %s %s\n# TYPE %s gauge\n" name help name;
+      List.iter
+        (fun (file, (s : Churn_report.summary)) ->
+          Printf.bprintf b "%s{campaign=%s} %s\n" name (J.escape file)
+            (J.float_lit (each s)))
+        (List.rev t.churn)
+    in
+    labeled "bgp_churn_sustained_updates_per_second"
+      "Mean sustained update-processing throughput under churn." (fun s ->
+        s.Churn_report.sustained_rate);
+    labeled "bgp_churn_peak_window_updates_per_second"
+      "Best single-window update throughput under churn." (fun s ->
+        s.Churn_report.peak_window_rate);
+    labeled "bgp_churn_queue_high_water" "Deepest input queue seen under churn."
+      (fun s -> float_of_int s.Churn_report.queue_high_water);
+    labeled "bgp_churn_unconverged_prefixes"
+      "Prefixes inconsistent after the churn schedule quiesced." (fun s ->
+        float_of_int s.Churn_report.unconverged);
+    labeled "bgp_churn_settle_p99_seconds"
+      "Pooled p99 per-prefix settle delay under churn." (fun s -> s.Churn_report.p99)
+  end;
   sample "bgp_process_resident_memory_bytes" ~help:"Resident set size."
     ~typ:"gauge"
     (float_of_int (rss_bytes ()));

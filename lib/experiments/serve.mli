@@ -6,10 +6,13 @@
     ({!Sweep.traced_archived}, [bgpsim --trace-file]) or a chaos
     campaign ([bgpsim chaos --sidecar-dir]) drops them, folds each new
     one into a streaming {!Bgp_netsim.Attr_merge} accumulator exactly
-    once, and answers requests over a Unix-domain stream socket.  Raw
-    trace JSONL is never read: sidecars are written atomically, so a
-    scan only ever sees complete documents, and the folded trial count
-    grows monotonically as the campaign runs.
+    once, and answers requests over a Unix-domain stream socket.  Churn
+    campaign artifacts ([*.churn.json], {!Churn_report}) ride the same
+    scan: their summaries back per-campaign workload gauges and the
+    status document's active-workload field.  Raw trace JSONL is never
+    read: sidecars are written atomically, so a scan only ever sees
+    complete documents, and the folded trial count grows monotonically
+    as the campaign runs.
 
     {b Protocol} (one request per connection): the client sends a single
     line and half-closes; the server replies with one document and
@@ -18,15 +21,19 @@
       counts, skip count + first error, the chaos invariant-battery
       pass/fail tally, histogram tail percentiles (p50/p95/p99),
       mean delay, trials/sec throughput, uptime (plus explicit-unit
-      [uptime_s]), process RSS and GC gauges, and the service's own
-      telemetry counters (scans, folds, requests by kind);
+      [uptime_s]), the active workload kind ([workload]: the newest
+      churn campaign's, ["one-shot"] for plain sidecars, [null] when
+      empty) and churn-campaign count, process RSS and GC gauges, and
+      the service's own telemetry counters (scans, folds, requests by
+      kind);
     - [report] — the full merged ["bgp-attr-merge/1"] document
       ({!Bgp_netsim.Attr_merge.to_json});
     - [flame] — merged collapsed-stack flamegraph lines (text);
     - [metrics] — Prometheus text exposition format (version 0.0.4):
       campaign counters, fold timings and lag, tail-percentile gauges,
-      process RSS and OCaml GC gauges — so a long-running instance can
-      be scraped;
+      per-churn-campaign throughput / queue-depth / settle-tail gauges
+      (labeled by artifact file name), process RSS and OCaml GC gauges —
+      so a long-running instance can be scraped;
     - [shutdown] — acknowledges and stops the serve loop.
 
     The loop is single-threaded by design (no new dependencies, no

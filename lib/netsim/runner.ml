@@ -31,11 +31,15 @@ type scenario = {
   policies : bool;
   faults : Fault_injector.schedule option;
   sharding : int option;
+  churn : Churn.schedule option;
+  churn_window : float;
+  dest_sample : int option;
 }
 
 let scenario ?(net = Network.config_default Bgp_proto.Config.default)
     ?(failure = No_failure) ?(seed = 1) ?(sim_time_cap = 36000.0) ?(validate = false)
-    ?(warmup = Simulated) ?(policies = false) ?faults ?sharding topo =
+    ?(warmup = Simulated) ?(policies = false) ?faults ?sharding ?churn
+    ?(churn_window = 0.5) ?dest_sample topo =
   {
     topo;
     net;
@@ -47,6 +51,9 @@ let scenario ?(net = Network.config_default Bgp_proto.Config.default)
     policies;
     faults;
     sharding;
+    churn;
+    churn_window;
+    dest_sample;
   }
 
 type result = {
@@ -66,6 +73,7 @@ type result = {
   issues : Validate.issue list;
   report : Telemetry.report option;
   attribution : Attribution.t option;
+  churn : Churn.stats option;
 }
 
 let make_topology rng = function
@@ -77,6 +85,32 @@ let make_failure topo = function
   | Fraction f -> Failure.contiguous topo ~fraction:f
   | Routers l -> Failure.of_list topo l
   | Links _ | No_failure -> Failure.none topo
+
+(* Seeded destination subsampling: narrow the config's active set to a
+   [k]-subset by partial Fisher-Yates over the full prefix universe.  The
+   stream is split only when sampling is requested (after the fault
+   stream), so unsampled runs draw exactly what they always did. *)
+let apply_dest_sample s topo rng_sample net_config =
+  match (s.dest_sample, rng_sample) with
+  | Some k, Some rng ->
+    if k < 1 then invalid_arg "Runner.run: dest_sample must be >= 1";
+    let bgp = net_config.Network.bgp in
+    let universe = Bgp_proto.Config.num_dests bgp ~n_ases:topo.Topology.n_ases in
+    if k >= universe then net_config
+    else begin
+      let arr = Array.init universe Fun.id in
+      for i = 0 to k - 1 do
+        let j = i + Rng.int rng (universe - i) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      done;
+      {
+        net_config with
+        Network.bgp = Bgp_proto.Config.with_dest_sample (Array.sub arr 0 k) bgp;
+      }
+    end
+  | _ -> net_config
 
 let run_sequential ?inspect s =
   (* Wall-clock phase spans: reads of the monotonic clock only, so the
@@ -90,6 +124,7 @@ let run_sequential ?inspect s =
      runs draw exactly what they always did (the goldens pin this), and a
      chaotic run is still a pure function of the seed. *)
   let rng_faults = Option.map (fun _ -> Rng.split root) s.faults in
+  let rng_sample = Option.map (fun _ -> Rng.split root) s.dest_sample in
   let topo = make_topology rng_topo s.topo in
   (match Topology.validate topo with
   | Ok () -> ()
@@ -100,6 +135,7 @@ let run_sequential ?inspect s =
       { s.net with Network.relationships = Some (Relationships.infer topo) }
     else s.net
   in
+  let net_config = apply_dest_sample s topo rng_sample net_config in
   (* Telemetry lives per run: the config only carries the spec, the
      instance (and hence all recorded state) is private to this trial. *)
   let tele = Option.map Telemetry.create net_config.Network.telemetry in
@@ -151,6 +187,19 @@ let run_sequential ?inspect s =
            Network.probe_tick net t;
            Network.start_probes net t
          | None -> ()));
+  (* Steady-state churn: arm the workload ops as causal roots relative to
+     [t_fail] and observe settle times + windowed throughput.  The hooks
+     are pure observation and the sampler only exists under churn, so the
+     churn-free path schedules exactly what it always did. *)
+  let monitor =
+    match s.churn with
+    | None -> None
+    | Some schedule ->
+      let m = Churn.monitor net ~t0:t_fail ~window:s.churn_window in
+      Churn.install net ~sched ~t0:t_fail schedule;
+      Churn.start_sampler m net ~sched;
+      Some (schedule, m)
+  in
   if prof then Profile.record Fail p0;
   let p0 = if prof then Profile.now_ns () else 0L in
   Sched.run ~until:(t_fail +. s.sim_time_cap) sched;
@@ -162,6 +211,10 @@ let run_sequential ?inspect s =
   let converged = warmup_converged && Sched.pending sched = 0 in
   let last = Network.last_activity net in
   let convergence_delay = Float.max 0.0 (last -. t_fail) in
+  let churn_stats =
+    Option.map (fun (schedule, m) -> Churn.stats m net ~schedule ~last_activity:last)
+      monitor
+  in
   let issues =
     (* Link failures change the graph underneath the survivor-BFS checks;
        only the router-failure invariants are validated. *)
@@ -217,6 +270,7 @@ let run_sequential ?inspect s =
     issues;
     report = Option.map Telemetry.report tele;
     attribution;
+    churn = churn_stats;
   }
 
 (* --- Sharded run ---------------------------------------------------------- *)
@@ -237,6 +291,7 @@ let run_sharded ?inspect s ~shards =
   let rng_topo = Rng.split root in
   let rng_net = Rng.split root in
   let rng_faults = Option.map (fun _ -> Rng.split root) s.faults in
+  let rng_sample = Option.map (fun _ -> Rng.split root) s.dest_sample in
   let topo = make_topology rng_topo s.topo in
   (match Topology.validate topo with
   | Ok () -> ()
@@ -246,6 +301,7 @@ let run_sharded ?inspect s ~shards =
       { s.net with Network.relationships = Some (Relationships.infer topo) }
     else s.net
   in
+  let net_config = apply_dest_sample s topo rng_sample net_config in
   let tele = Option.map Telemetry.create net_config.Network.telemetry in
   let part = Bgp_topology.Partition.compute ~shards ~seed:s.seed topo in
   let lookahead =
@@ -307,6 +363,16 @@ let run_sharded ?inspect s ~shards =
     Network.enable_faults net ~rng;
     Fault_injector.install_sharded net ~t_fail schedule
   | _ -> ());
+  (* Churn ops land only on their router's owner shard (never replicated),
+     so counters need no [note_replica] normalisation. *)
+  let monitor =
+    match s.churn with
+    | None -> None
+    | Some schedule ->
+      let m = Churn.monitor net ~t0:t_fail ~window:s.churn_window in
+      Churn.install_sharded net ~t_fail schedule;
+      Some (schedule, m)
+  in
   if prof then Profile.record Fail p0;
   let at_barrier =
     match tele with
@@ -317,6 +383,27 @@ let run_sharded ?inspect s ~shards =
       Some (probe_hook t)
     | None -> None
   in
+  (* Throughput samples ride the barrier windows, like probe ticks:
+     window starts are shard-count invariant. *)
+  let at_barrier =
+    match monitor with
+    | None -> at_barrier
+    | Some (_, m) ->
+      let next_window = ref (t_fail +. s.churn_window) in
+      let churn_hook ~now =
+        if now >= !next_window then begin
+          Churn.sample m net ~now;
+          next_window := now +. s.churn_window
+        end
+      in
+      (match at_barrier with
+      | None -> Some churn_hook
+      | Some f ->
+        Some
+          (fun ~now ->
+            f ~now;
+            churn_hook ~now))
+  in
   let p0 = if prof then Profile.now_ns () else 0L in
   Network.run_shards ?at_barrier net ~cap:(t_fail +. s.sim_time_cap);
   if prof then Profile.record Converge p0;
@@ -325,6 +412,10 @@ let run_sharded ?inspect s ~shards =
   let converged = warmup_converged && Network.shard_pending net = 0 in
   let last = Network.last_activity net in
   let convergence_delay = Float.max 0.0 (last -. t_fail) in
+  let churn_stats =
+    Option.map (fun (schedule, m) -> Churn.stats m net ~schedule ~last_activity:last)
+      monitor
+  in
   let issues =
     match s.failure with
     | Links _ -> []
@@ -389,6 +480,7 @@ let run_sharded ?inspect s ~shards =
     issues;
     report = Option.map Telemetry.report tele;
     attribution;
+    churn = churn_stats;
   }
 
 let run_gen ?inspect s =

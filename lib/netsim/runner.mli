@@ -45,6 +45,21 @@ type scenario = {
           but produced by different machinery than [None], which keeps
           the historical sequential path (and its goldens) untouched.
           See DESIGN.md §11. *)
+  churn : Churn.schedule option;
+      (** sustained-load workload armed at the failure instant (onsets
+          are offsets from [t_fail]); a steady-state {!Churn.monitor}
+          observes the run and its {!Churn.stats} land in the result.
+          [None] keeps the load phase bit-identical to churn-free
+          builds *)
+  churn_window : float;
+      (** throughput-sampling window width in seconds (only read under
+          [churn]) *)
+  dest_sample : int option;
+      (** [Some k]: seeded destination subsampling — only a [k]-subset of
+          the prefix universe is originated, warmed, validated and
+          churned; per-prefix metrics stay exact for the subset while
+          message totals scale roughly with the sampled fraction.  [None]
+          keeps the full universe and the historical RNG draw order *)
 }
 
 val scenario :
@@ -57,11 +72,15 @@ val scenario :
   ?policies:bool ->
   ?faults:Fault_injector.schedule ->
   ?sharding:int ->
+  ?churn:Churn.schedule ->
+  ?churn_window:float ->
+  ?dest_sample:int ->
   topo_spec ->
   scenario
 (** Defaults: paper BGP config ({!Bgp_proto.Config.default}), no failure,
     seed 1, cap 36000 s, validation off, simulated warm-up, no policies,
-    no fault schedule, no sharding (sequential execution). *)
+    no fault schedule, no sharding (sequential execution), no churn
+    (churn window 0.5 s), no destination subsampling. *)
 
 type result = {
   converged : bool;
@@ -93,6 +112,10 @@ type result = {
           (including [events]) are bit-identical with it on or off.  When
           both trace and telemetry are set, the component totals also
           appear in [report] as [attr.*] gauges *)
+  churn : Churn.stats option;
+      (** steady-state workload measurements when [scenario.churn] is
+          set: sustained/peak update throughput, queue-depth high-water,
+          per-prefix settle-delay tails, unconverged prefix count *)
 }
 
 val run : scenario -> result

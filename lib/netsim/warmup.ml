@@ -125,7 +125,7 @@ let install net =
       Bgp_proto.Path.of_list (Network.paths_for net u) (Bgp_proto.Path.hops p)
     else fun _ p -> p
   in
-  for dest = 0 to (topo.Topology.n_ases * config.Bgp_proto.Config.prefixes_per_as) - 1 do
+  Bgp_proto.Config.iter_active_dests config ~n_ases:topo.Topology.n_ases @@ fun dest ->
     let best = settle net adj ~config ~paths ~dest in
     let origin = Bgp_proto.Config.origin_as config ~dest in
     (* Adj-RIB-In of u from peer p = p's export; Adj-RIB-Out of p toward u
@@ -156,4 +156,3 @@ let install net =
       Router.warm_install (Network.router net u) ~dest
         ~local:(own_as = origin) ~entries:!entries ~advertised:!advertised
     done
-  done

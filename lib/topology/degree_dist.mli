@@ -45,7 +45,9 @@ val sample_sequence : spec -> Rng.t -> n:int -> int array
     that {!realize} always succeeds — repairs only trigger for small [n]. *)
 
 val is_graphical : int array -> bool
-(** Erdos-Gallai test: can the sequence be realized as a simple graph? *)
+(** Erdos-Gallai test: can the sequence be realized as a simple graph?
+    O(n log n) — prefix sums over the sorted sequence plus a binary
+    search per inequality. *)
 
 val realize : Rng.t -> int array -> Graph.t
 (** Build a connected random simple graph with exactly the given degree
